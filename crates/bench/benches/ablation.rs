@@ -1,0 +1,43 @@
+//! Ablation costs: exchange policy (Strict vs the appendix's literal
+//! Aggressive rule) and partner locality on a torus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_core::{Cluster, ExchangePolicy, Params};
+use dlb_experiments::quality::{paper_trace, run_on_trace};
+use dlb_net::{PartnerMode, TopoCluster, Topology};
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 64;
+    let trace = paper_trace(n, 500, 21);
+    let params = Params::paper_section7(n);
+    let mut group = c.benchmark_group("ablation_500steps");
+    group.sample_size(10);
+    group.bench_function("exchange_strict", |b| {
+        b.iter(|| run_on_trace(&mut Cluster::new(params, 1), &trace))
+    });
+    group.bench_function("exchange_aggressive", |b| {
+        let p = params.with_exchange(ExchangePolicy::Aggressive);
+        b.iter(|| run_on_trace(&mut Cluster::new(p, 1), &trace))
+    });
+    let torus = Topology::Torus2D { w: 8, h: 8 };
+    group.bench_function("topo_global", |b| {
+        b.iter(|| {
+            run_on_trace(
+                &mut TopoCluster::new(params, torus.clone(), PartnerMode::GlobalRandom, 1),
+                &trace,
+            )
+        })
+    });
+    group.bench_function("topo_neighbors", |b| {
+        b.iter(|| {
+            run_on_trace(
+                &mut TopoCluster::new(params, torus.clone(), PartnerMode::Neighbors, 1),
+                &trace,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

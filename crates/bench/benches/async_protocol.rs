@@ -1,0 +1,39 @@
+//! Cost of the asynchronous message-protocol simulator per tick, across
+//! latency and loss settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::Params;
+use dlb_net::{AsyncConfig, AsyncNetwork};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn run(n: usize, latency: u64, loss: f64, ticks: u64) -> AsyncNetwork {
+    let params = Params::new(n, 2, 1.3, 4).unwrap();
+    let mut cfg = AsyncConfig::reliable(params, latency, 3);
+    cfg.control_loss = loss;
+    let mut net = AsyncNetwork::new(cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for t in 0..ticks {
+        let actions: Vec<i8> =
+            (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        net.tick(t, &actions);
+    }
+    net.quiesce();
+    net
+}
+
+fn bench_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_protocol_2k_ticks");
+    group.sample_size(10);
+    for &(latency, loss) in &[(1u64, 0.0f64), (16, 0.0), (4, 0.2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("lat{latency}_loss{loss}")),
+            &(latency, loss),
+            |b, &(latency, loss)| b.iter(|| run(64, latency, loss, 2_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async);
+criterion_main!(benches);

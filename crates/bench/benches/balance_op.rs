@@ -1,0 +1,40 @@
+//! Cost of the balancing primitive (the δ+1-way snake distribution of the
+//! appendix) as class count and group size vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::balance::{distribute_capped, distribute_classes, even_shares};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_distribute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balance_op/distribute_classes");
+    for &(classes, members) in &[(64usize, 2usize), (64, 5), (256, 5), (1024, 9)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let totals: Vec<u64> = (0..classes).map(|_| rng.gen_range(0..50)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{classes}cls_{members}mem")),
+            &(totals, members),
+            |b, (totals, members)| {
+                b.iter(|| {
+                    let mut running = vec![0u64; *members];
+                    black_box(distribute_classes(black_box(totals), *members, &mut running))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_even_shares(c: &mut Criterion) {
+    c.bench_function("balance_op/even_shares_1k", |b| {
+        b.iter(|| black_box(even_shares(black_box(100_003), black_box(9))))
+    });
+    c.bench_function("balance_op/distribute_capped", |b| {
+        let caps = vec![4u64; 16];
+        b.iter(|| black_box(distribute_capped(black_box(40), black_box(&caps))))
+    });
+}
+
+criterion_group!(benches, bench_distribute, bench_even_shares);
+criterion_main!(benches);

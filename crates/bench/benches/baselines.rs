@@ -1,0 +1,40 @@
+//! Per-run cost of every strategy on the identical §7 trace (the work
+//! behind the baseline-comparison table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_baselines::{Gradient, NoBalance, RandomScatter, Rsu91};
+use dlb_core::{Cluster, Params, SimpleCluster};
+use dlb_experiments::quality::{paper_trace, run_on_trace};
+use dlb_net::Topology;
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 64;
+    let trace = paper_trace(n, 500, 11);
+    let params = Params::paper_section7(n);
+    let mut group = c.benchmark_group("baselines_500steps");
+    group.sample_size(10);
+    group.bench_function("spaa93_full", |b| {
+        b.iter(|| run_on_trace(&mut Cluster::new(params, 1), &trace))
+    });
+    group.bench_function("spaa93_simple", |b| {
+        b.iter(|| run_on_trace(&mut SimpleCluster::new(params, 1), &trace))
+    });
+    group.bench_function("rsu91", |b| {
+        b.iter(|| run_on_trace(&mut Rsu91::new(n, 1), &trace))
+    });
+    group.bench_function("random_scatter", |b| {
+        b.iter(|| run_on_trace(&mut RandomScatter::new(n, 1), &trace))
+    });
+    group.bench_function("gradient", |b| {
+        b.iter(|| {
+            run_on_trace(&mut Gradient::new(Topology::Torus2D { w: 8, h: 8 }, 2, 8), &trace)
+        })
+    });
+    group.bench_function("no_balance", |b| {
+        b.iter(|| run_on_trace(&mut NoBalance::new(n), &trace))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

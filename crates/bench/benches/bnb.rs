@@ -1,0 +1,25 @@
+//! Branch & bound throughput: TSP and N-Queens on the balanced runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_bnb::nqueens::NQueens;
+use dlb_bnb::tsp::Tsp;
+use dlb_bnb::Solver;
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bnb");
+    group.sample_size(10);
+    let tsp = Tsp::random(11, 5);
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("tsp11", workers), &workers, |b, &w| {
+            b.iter(|| Solver::with_workers(w.max(2)).solve(&tsp))
+        });
+    }
+    let queens = NQueens::new(9);
+    group.bench_function("nqueens9", |b| {
+        b.iter(|| Solver::with_workers(4).count_solutions(&queens))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bnb);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Cost of the closed-loop branching-process driver (the speedup
+//! experiment's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::{Params, SimpleCluster};
+use dlb_workload::branching::{run_branching, Offspring};
+
+fn bench_branching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branching_tree");
+    group.sample_size(10);
+    let offspring = Offspring::bernoulli(2, 0.49);
+    for &n in &[8usize, 32] {
+        let params = Params::new(n, 2, 1.3, 4).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cluster = SimpleCluster::new(params, 1);
+                run_branching(&mut cluster, &offspring, 100, 1_000_000, 5)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_branching);
+criterion_main!(benches);

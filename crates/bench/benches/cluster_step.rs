@@ -1,0 +1,50 @@
+//! Per-step cost of the full virtual-class algorithm vs the practical
+//! variant across network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::{Cluster, LoadBalancer, LoadEvent, Params, SimpleCluster};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn events(n: usize, seed: u64) -> Vec<Vec<LoadEvent>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..64)
+        .map(|_| {
+            (0..n)
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => LoadEvent::Generate,
+                    1 => LoadEvent::Consume,
+                    _ => LoadEvent::Idle,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_step");
+    for &n in &[16usize, 64, 256] {
+        let params = Params::paper_section7(n);
+        let evs = events(n, 7);
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            let mut cluster = Cluster::new(params, 1);
+            let mut k = 0;
+            b.iter(|| {
+                cluster.step(&evs[k % evs.len()]);
+                k += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simple", n), &n, |b, _| {
+            let mut cluster = SimpleCluster::new(params, 1);
+            let mut k = 0;
+            b.iter(|| {
+                cluster.step(&evs[k % evs.len()]);
+                k += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end cost of one Figure 7/8 run (64 processors × 500 steps of
+//! the §7 workload through the full algorithm), per (δ, f).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::{Cluster, Params};
+use dlb_experiments::quality::{paper_trace, run_on_trace};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_run");
+    group.sample_size(10);
+    let trace = paper_trace(64, 500, 42);
+    for &(delta, f) in &[(1usize, 1.1f64), (1, 1.8), (4, 1.1), (4, 1.8)] {
+        let params = Params::new(64, delta, f, 4).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{delta}_f{f}")),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let mut cluster = Cluster::new(*params, 1);
+                    run_on_trace(&mut cluster, &trace)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Scaling of the practical variant to 1024 processors (the paper's
+//! largest configuration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlb_core::{Params, SimpleCluster};
+use dlb_experiments::quality::{paper_trace, run_on_trace};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_simple_500steps");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let trace = paper_trace(n, 500, 9);
+        let params = Params::paper_section7(n);
+        group.throughput(Throughput::Elements((n * 500) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_on_trace(&mut SimpleCluster::new(params, 1), &trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Cost of the analysis layer: fixed points, operator iteration, cost
+//! bounds and occupancy probabilities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_theory::compgraph::occupancy_prob;
+use dlb_theory::operators::{fix, iterate_to_fixpoint};
+use dlb_theory::{AlgoParams, CostBounds};
+use std::hint::black_box;
+
+fn bench_theory(c: &mut Criterion) {
+    c.bench_function("theory/fix_closed_form", |b| {
+        b.iter(|| black_box(fix(black_box(1024), black_box(4), black_box(1.5))))
+    });
+    c.bench_function("theory/iterate_to_fixpoint", |b| {
+        b.iter(|| black_box(iterate_to_fixpoint(1024, 4, 1.5, 1.0)))
+    });
+    c.bench_function("theory/lemma6_upper", |b| {
+        let cb = CostBounds::for_params(&AlgoParams::new(64, 1, 1.1).unwrap());
+        b.iter(|| black_box(cb.lemma6_upper(black_box(1000), black_box(500), 100_000)))
+    });
+    c.bench_function("theory/occupancy_prob_t150_p35", |b| {
+        b.iter(|| black_box(occupancy_prob(black_box(150), black_box(20), black_box(35))))
+    });
+}
+
+criterion_group!(benches, bench_theory);
+criterion_main!(benches);

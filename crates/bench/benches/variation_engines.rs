@@ -1,0 +1,25 @@
+//! Cost of the three Figure 6 engines: exact moment recursion (O(t)),
+//! computation-graph Monte-Carlo, and exhaustive enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_theory::compgraph::graph_monte_carlo;
+use dlb_theory::moments::{enumerate_exact, vd_curve};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    c.bench_function("variation/moments_exact_150steps", |b| {
+        b.iter(|| black_box(vd_curve(black_box(34), 2, 1.2, 150)))
+    });
+    let mut group = c.benchmark_group("variation/slow_engines");
+    group.sample_size(10);
+    group.bench_function("graph_mc_1k_runs", |b| {
+        b.iter(|| black_box(graph_monte_carlo(34, 1.2, 150, 1_000, 3)))
+    });
+    group.bench_function("enumerate_p3_t6", |b| {
+        b.iter(|| black_box(enumerate_exact(3, 1, 1.2, 6)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! N-Queens: a constraint-satisfaction enumeration (the "backtrack
+//! search" workload of the paper's references [5, 19]), counted exactly
+//! in parallel.
+
+use crate::solver::Enumeration;
+
+/// The N-Queens board (`n ≤ 16`).
+#[derive(Debug, Clone, Copy)]
+pub struct NQueens {
+    n: u32,
+}
+
+/// A partial placement: one queen per filled row, attack sets as
+/// bitmasks.
+#[derive(Debug, Clone, Copy)]
+pub struct QueenNode {
+    /// Rows filled so far.
+    pub row: u32,
+    /// Occupied columns.
+    pub cols: u32,
+    /// Occupied "/" diagonals (shifted left per row).
+    pub diag1: u32,
+    /// Occupied "\" diagonals (shifted right per row).
+    pub diag2: u32,
+}
+
+impl NQueens {
+    /// A board of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ n ≤ 16`.
+    pub fn new(n: u32) -> Self {
+        assert!((1..=16).contains(&n), "need 1 <= n <= 16");
+        NQueens { n }
+    }
+
+    /// Board size.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Sequential reference count (classic bitmask backtracking).
+    pub fn count_sequential(&self) -> u64 {
+        fn rec(n: u32, row: u32, cols: u32, d1: u32, d2: u32) -> u64 {
+            if row == n {
+                return 1;
+            }
+            let full = (1u32 << n) - 1;
+            let mut free = full & !(cols | d1 | d2);
+            let mut count = 0;
+            while free != 0 {
+                let bit = free & free.wrapping_neg();
+                free -= bit;
+                count += rec(n, row + 1, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1);
+            }
+            count
+        }
+        rec(self.n, 0, 0, 0, 0)
+    }
+}
+
+impl Enumeration for NQueens {
+    type Node = QueenNode;
+
+    fn root(&self) -> QueenNode {
+        QueenNode { row: 0, cols: 0, diag1: 0, diag2: 0 }
+    }
+
+    fn is_solution(&self, node: &QueenNode) -> bool {
+        node.row == self.n
+    }
+
+    fn branch(&self, node: &QueenNode, out: &mut Vec<QueenNode>) {
+        if node.row == self.n {
+            return;
+        }
+        let full = (1u32 << self.n) - 1;
+        let mut free = full & !(node.cols | node.diag1 | node.diag2);
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free -= bit;
+            out.push(QueenNode {
+                row: node.row + 1,
+                cols: node.cols | bit,
+                diag1: (node.diag1 | bit) << 1,
+                diag2: (node.diag2 | bit) >> 1,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+
+    #[test]
+    fn known_counts() {
+        // OEIS A000170.
+        for (n, expected) in [(1u32, 1u64), (4, 2), (5, 10), (6, 4), (7, 40), (8, 92)] {
+            let q = NQueens::new(n);
+            assert_eq!(q.count_sequential(), expected, "sequential n={n}");
+            let (parallel, _) = Solver::default().count_solutions(&q);
+            assert_eq!(parallel, expected, "parallel n={n}");
+        }
+    }
+
+    #[test]
+    fn ten_queens_parallel() {
+        let q = NQueens::new(10);
+        let (count, stats) = Solver::with_workers(6).count_solutions(&q);
+        assert_eq!(count, 724);
+        assert!(stats.balance_ops > 0, "the runtime balanced the frontier");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= n <= 16")]
+    fn size_validated() {
+        NQueens::new(17);
+    }
+}

@@ -1,0 +1,300 @@
+//! Scenario configuration: a JSON description of *what to run* — network
+//! size, balancing strategy, workload, horizon — so experiments can be
+//! driven without writing Rust.
+
+use serde::{Deserialize, Serialize};
+
+/// A complete runnable scenario.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Scenario {
+    /// Number of processors.
+    pub n: usize,
+    /// Global time steps per run.
+    pub steps: usize,
+    /// Independent seeded runs to average over.
+    #[serde(default = "default_runs")]
+    pub runs: usize,
+    /// Master seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Ignore the first fraction of each run when summarising quality.
+    #[serde(default = "default_warmup")]
+    pub warmup_fraction: f64,
+    /// The balancing strategy.
+    pub strategy: StrategyConfig,
+    /// The load pattern.
+    pub workload: WorkloadConfig,
+}
+
+fn default_runs() -> usize {
+    10
+}
+
+fn default_warmup() -> f64 {
+    0.2
+}
+
+/// Which balancer to run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum StrategyConfig {
+    /// The full §4 virtual-load-class algorithm.
+    Full {
+        /// Partners per balancing operation.
+        delta: usize,
+        /// Trigger factor.
+        f: f64,
+        /// Borrow limit.
+        #[serde(default = "default_c")]
+        c: usize,
+    },
+    /// The practical raw-load variant.
+    Simple {
+        /// Partners per balancing operation.
+        delta: usize,
+        /// Trigger factor.
+        f: f64,
+    },
+    /// Speed-proportional balancing for heterogeneous processors.
+    Weighted {
+        /// Partners per balancing operation.
+        delta: usize,
+        /// Trigger factor.
+        f: f64,
+        /// Relative speed per processor (length must equal `n`).
+        speeds: Vec<u64>,
+    },
+    /// The practical variant on an explicit topology.
+    Topo {
+        /// Partners per balancing operation.
+        delta: usize,
+        /// Trigger factor.
+        f: f64,
+        /// Interconnect.
+        topology: TopologyConfig,
+        /// Restrict partners to topology neighbours.
+        #[serde(default)]
+        neighbors_only: bool,
+    },
+    /// Rudolph/Slivkin-Allalouf/Upfal '91.
+    Rsu91,
+    /// Cilk-style random work stealing.
+    WorkStealing,
+    /// The §5 random-scatter strawman.
+    RandomScatter,
+    /// First-order diffusion on a topology (Cybenko).
+    Diffusion {
+        /// Interconnect.
+        topology: TopologyConfig,
+        /// Exchange coefficient (0 < alpha <= 0.5).
+        alpha: f64,
+    },
+    /// Lin–Keller gradient model.
+    Gradient {
+        /// Interconnect.
+        topology: TopologyConfig,
+        /// Low watermark (attracts work below this load).
+        low: u64,
+        /// High watermark (sheds work above this load).
+        high: u64,
+    },
+    /// No balancing.
+    None,
+}
+
+fn default_c() -> usize {
+    4
+}
+
+/// Interconnect topologies.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum TopologyConfig {
+    /// Fully connected.
+    Complete,
+    /// A cycle.
+    Ring,
+    /// `w × h` wrap-around grid (`w·h` must equal `n`).
+    Torus {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// Hypercube on `2^dim` processors.
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Binary de Bruijn graph on `2^dim` processors.
+    DeBruijn {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Star with centre 0.
+    Star,
+}
+
+/// Which workload drives the run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum WorkloadConfig {
+    /// The paper's §7 phase model.
+    Phase {
+        /// Generation probability range.
+        #[serde(default = "default_g")]
+        g: (f64, f64),
+        /// Consumption probability range.
+        #[serde(default = "default_cc")]
+        c: (f64, f64),
+        /// Phase length range.
+        #[serde(default = "default_len")]
+        len: (usize, usize),
+    },
+    /// One processor generates every step.
+    OneProducer {
+        /// Index of the producer.
+        #[serde(default)]
+        producer: usize,
+    },
+    /// Independent per-processor coin flips.
+    Uniform {
+        /// P(generate).
+        p_gen: f64,
+        /// P(consume).
+        p_con: f64,
+    },
+    /// A generating hotspot that moves every `period` steps.
+    MovingHotspot {
+        /// Steps between hotspot moves.
+        period: usize,
+        /// P(consume) for everyone else.
+        p_con: f64,
+    },
+    /// Half produce, half consume, roles swap periodically.
+    Split {
+        /// Steps between role swaps.
+        swap_every: usize,
+    },
+}
+
+fn default_g() -> (f64, f64) {
+    (0.1, 0.9)
+}
+
+fn default_cc() -> (f64, f64) {
+    (0.1, 0.7)
+}
+
+fn default_len() -> (usize, usize) {
+    (150, 400)
+}
+
+impl Scenario {
+    /// Parses a scenario from JSON.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let scenario: Scenario = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serialisation cannot fail")
+    }
+
+    /// Checks cross-field constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 {
+            return Err("need at least 2 processors".into());
+        }
+        if self.steps == 0 || self.runs == 0 {
+            return Err("steps and runs must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.warmup_fraction) {
+            return Err("warmup_fraction must lie in [0, 1)".into());
+        }
+        if let StrategyConfig::Weighted { speeds, .. } = &self.strategy {
+            if speeds.len() != self.n {
+                return Err(format!(
+                    "weighted strategy needs {} speeds, got {}",
+                    self.n,
+                    speeds.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The built-in demo scenario (paper §7 on 64 processors).
+    pub fn demo() -> Self {
+        Scenario {
+            n: 64,
+            steps: 500,
+            runs: 10,
+            seed: 42,
+            warmup_fraction: 0.2,
+            strategy: StrategyConfig::Simple { delta: 1, f: 1.1 },
+            workload: WorkloadConfig::Phase {
+                g: default_g(),
+                c: default_cc(),
+                len: default_len(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_roundtrips() {
+        let demo = Scenario::demo();
+        let json = demo.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(demo, back);
+    }
+
+    #[test]
+    fn minimal_json_with_defaults() {
+        let text = r#"{
+            "n": 8, "steps": 100,
+            "strategy": {"kind": "simple", "delta": 1, "f": 1.2},
+            "workload": {"kind": "one-producer"}
+        }"#;
+        let s = Scenario::from_json(text).unwrap();
+        assert_eq!(s.runs, 10, "default runs");
+        assert_eq!(s.seed, 0, "default seed");
+        assert!(matches!(s.workload, WorkloadConfig::OneProducer { producer: 0 }));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut s = Scenario::demo();
+        s.n = 1;
+        assert!(s.validate().is_err());
+        let mut s = Scenario::demo();
+        s.strategy = StrategyConfig::Weighted { delta: 1, f: 1.1, speeds: vec![1, 2] };
+        assert!(s.validate().unwrap_err().contains("speeds"));
+        assert!(Scenario::from_json("{").is_err());
+    }
+
+    #[test]
+    fn all_strategy_kinds_parse() {
+        for kind in [
+            r#"{"kind": "full", "delta": 2, "f": 1.3}"#,
+            r#"{"kind": "simple", "delta": 1, "f": 1.1}"#,
+            r#"{"kind": "topo", "delta": 1, "f": 1.1, "topology": {"kind": "ring"}, "neighbors_only": true}"#,
+            r#"{"kind": "rsu91"}"#,
+            r#"{"kind": "work-stealing"}"#,
+            r#"{"kind": "random-scatter"}"#,
+            r#"{"kind": "gradient", "topology": {"kind": "hypercube", "dim": 3}, "low": 2, "high": 8}"#,
+            r#"{"kind": "diffusion", "topology": {"kind": "ring"}, "alpha": 0.25}"#,
+            r#"{"kind": "none"}"#,
+        ] {
+            let parsed: Result<StrategyConfig, _> = serde_json::from_str(kind);
+            assert!(parsed.is_ok(), "{kind}: {parsed:?}");
+        }
+    }
+}

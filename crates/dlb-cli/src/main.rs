@@ -1,0 +1,48 @@
+//! `dlb` — config-driven runner for the SPAA'93 load balancing workspace.
+//!
+//! ```text
+//! dlb demo                      run the built-in §7 demo scenario
+//! dlb run <scenario.json>       run a scenario from a JSON file
+//! dlb template                  print a scenario template to stdout
+//! ```
+
+mod config;
+mod run;
+
+use config::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo") => run_scenario(Scenario::demo()),
+        Some("run") => match args.get(1) {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => match Scenario::from_json(&text) {
+                    Ok(scenario) => run_scenario(scenario),
+                    Err(e) => Err(format!("invalid scenario {path}: {e}")),
+                },
+                Err(e) => Err(format!("cannot read {path}: {e}")),
+            },
+            None => Err("usage: dlb run <scenario.json>".into()),
+        },
+        Some("template") => {
+            println!("{}", Scenario::demo().to_json());
+            Ok(())
+        }
+        _ => Err("usage: dlb <demo | run <scenario.json> | template>".into()),
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run_scenario(scenario: Scenario) -> Result<(), String> {
+    println!(
+        "running: {} processors, {} steps x {} runs, strategy {:?}\n",
+        scenario.n, scenario.steps, scenario.runs, scenario.strategy
+    );
+    let report = run::execute(&scenario)?;
+    println!("{}", report.render());
+    Ok(())
+}

@@ -1,0 +1,284 @@
+//! Builds and executes a [`Scenario`].
+
+use crate::config::{Scenario, StrategyConfig, TopologyConfig, WorkloadConfig};
+use dlb_baselines::{Diffusion, Gradient, NoBalance, RandomScatter, Rsu91, WorkStealing};
+use dlb_core::{
+    Cluster, LoadBalancer, LoadRecorder, Params, SimpleCluster, WeightedCluster,
+};
+use dlb_net::{PartnerMode, TopoCluster, Topology};
+use dlb_workload::patterns::{MovingHotspot, OneProducer, ProducerConsumerSplit, UniformRandom};
+use dlb_workload::phase::{PhaseConfig, PhaseWorkload};
+use dlb_workload::{drive, Workload};
+
+/// Aggregated outcome of all runs of a scenario.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Strategy name (from the balancer).
+    pub strategy: String,
+    /// Mean of per-step max/mean ratios (quality; 1.0 is perfect).
+    pub mean_ratio: f64,
+    /// 95th percentile of the ratios.
+    pub p95_ratio: f64,
+    /// Worst ratio ever observed.
+    pub worst_ratio: f64,
+    /// Balancing operations per run.
+    pub ops_per_run: f64,
+    /// Packets migrated per run.
+    pub migrated_per_run: f64,
+    /// Final total load of the last run.
+    pub final_total: u64,
+}
+
+impl Report {
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        format!(
+            "strategy        {}\n\
+             mean max/mean   {:.3}\n\
+             p95 max/mean    {:.3}\n\
+             worst max/mean  {:.3}\n\
+             ops/run         {:.1}\n\
+             migrated/run    {:.1}\n\
+             final total     {}",
+            self.strategy,
+            self.mean_ratio,
+            self.p95_ratio,
+            self.worst_ratio,
+            self.ops_per_run,
+            self.migrated_per_run,
+            self.final_total
+        )
+    }
+}
+
+fn build_topology(config: &TopologyConfig, n: usize) -> Result<Topology, String> {
+    let topo = match *config {
+        TopologyConfig::Complete => Topology::Complete { n },
+        TopologyConfig::Ring => Topology::Ring { n },
+        TopologyConfig::Torus { w, h } => Topology::Torus2D { w, h },
+        TopologyConfig::Hypercube { dim } => Topology::Hypercube { dim },
+        TopologyConfig::DeBruijn { dim } => Topology::DeBruijn { dim },
+        TopologyConfig::Star => Topology::Star { n },
+    };
+    if topo.n() != n {
+        return Err(format!("topology has {} vertices but n = {n}", topo.n()));
+    }
+    Ok(topo)
+}
+
+fn build_strategy(
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<Box<dyn LoadBalancer>, String> {
+    let n = scenario.n;
+    let params = |delta: usize, f: f64, c: usize| {
+        Params::new(n, delta, f, c).map_err(|e| e.to_string())
+    };
+    Ok(match &scenario.strategy {
+        StrategyConfig::Full { delta, f, c } => {
+            Box::new(Cluster::new(params(*delta, *f, *c)?, seed))
+        }
+        StrategyConfig::Simple { delta, f } => {
+            Box::new(SimpleCluster::new(params(*delta, *f, 4)?, seed))
+        }
+        StrategyConfig::Weighted { delta, f, speeds } => {
+            Box::new(WeightedCluster::new(params(*delta, *f, 4)?, speeds.clone(), seed))
+        }
+        StrategyConfig::Topo { delta, f, topology, neighbors_only } => {
+            let topo = build_topology(topology, n)?;
+            let mode = if *neighbors_only {
+                PartnerMode::Neighbors
+            } else {
+                PartnerMode::GlobalRandom
+            };
+            Box::new(TopoCluster::new(params(*delta, *f, 4)?, topo, mode, seed))
+        }
+        StrategyConfig::Rsu91 => Box::new(Rsu91::new(n, seed)),
+        StrategyConfig::WorkStealing => Box::new(WorkStealing::new(n, seed)),
+        StrategyConfig::RandomScatter => Box::new(RandomScatter::new(n, seed)),
+        StrategyConfig::Diffusion { topology, alpha } => {
+            if !(*alpha > 0.0 && *alpha <= 0.5) {
+                return Err("diffusion alpha must lie in (0, 0.5]".into());
+            }
+            Box::new(Diffusion::new(build_topology(topology, n)?, *alpha))
+        }
+        StrategyConfig::Gradient { topology, low, high } => {
+            if low >= high {
+                return Err("gradient watermarks must satisfy low < high".into());
+            }
+            Box::new(Gradient::new(build_topology(topology, n)?, *low, *high))
+        }
+        StrategyConfig::None => Box::new(NoBalance::new(n)),
+    })
+}
+
+fn build_workload(scenario: &Scenario, seed: u64) -> Result<Box<dyn Workload>, String> {
+    let n = scenario.n;
+    Ok(match &scenario.workload {
+        WorkloadConfig::Phase { g, c, len } => {
+            let config = PhaseConfig { g: *g, c: *c, len: *len };
+            config.validate()?;
+            Box::new(PhaseWorkload::new(n, scenario.steps, config, seed))
+        }
+        WorkloadConfig::OneProducer { producer } => {
+            if *producer >= n {
+                return Err(format!("producer {producer} out of range (n = {n})"));
+            }
+            Box::new(OneProducer::new(n, *producer))
+        }
+        WorkloadConfig::Uniform { p_gen, p_con } => {
+            if *p_gen < 0.0 || *p_con < 0.0 || p_gen + p_con > 1.0 {
+                return Err("uniform workload needs p_gen + p_con <= 1".into());
+            }
+            Box::new(UniformRandom::new(n, *p_gen, *p_con, seed))
+        }
+        WorkloadConfig::MovingHotspot { period, p_con } => {
+            if *period == 0 {
+                return Err("hotspot period must be positive".into());
+            }
+            Box::new(MovingHotspot::new(n, *period, *p_con, seed))
+        }
+        WorkloadConfig::Split { swap_every } => {
+            if *swap_every == 0 {
+                return Err("swap period must be positive".into());
+            }
+            Box::new(ProducerConsumerSplit::new(n, *swap_every))
+        }
+    })
+}
+
+/// Runs a scenario to completion and aggregates the report.
+pub fn execute(scenario: &Scenario) -> Result<Report, String> {
+    scenario.validate()?;
+    let warmup = (scenario.steps as f64 * scenario.warmup_fraction) as usize;
+    let mut recorder = LoadRecorder::new(0, 3.0); // per-run warm-up handled below
+    let mut strategy_name = String::new();
+    let mut ops = 0.0;
+    let mut migrated = 0.0;
+    let mut final_total = 0;
+    for r in 0..scenario.runs {
+        let seed = scenario.seed.wrapping_add(r as u64);
+        let mut balancer = build_strategy(scenario, seed)?;
+        let mut workload = build_workload(scenario, seed ^ 0x000f_10a7)?;
+        let mut run_recorder = LoadRecorder::new(warmup, 3.0);
+        drive(balancer.as_mut(), workload.as_mut(), scenario.steps, |_, b| {
+            run_recorder.record(&b.loads());
+        });
+        recorder.merge(&run_recorder);
+        strategy_name = balancer.name().to_string();
+        ops += balancer.metrics().balance_ops as f64;
+        migrated += balancer.metrics().packets_migrated as f64;
+        final_total = balancer.loads().iter().sum();
+    }
+    Ok(Report {
+        strategy: strategy_name,
+        mean_ratio: recorder.mean_ratio(),
+        p95_ratio: recorder.ratio_quantile(0.95),
+        worst_ratio: recorder.worst_ratio(),
+        ops_per_run: ops / scenario.runs as f64,
+        migrated_per_run: migrated / scenario.runs as f64,
+        final_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scenario;
+
+    fn small_scenario(strategy: StrategyConfig, workload: WorkloadConfig) -> Scenario {
+        Scenario {
+            n: 8,
+            steps: 120,
+            runs: 2,
+            seed: 1,
+            warmup_fraction: 0.2,
+            strategy,
+            workload,
+        }
+    }
+
+    #[test]
+    fn demo_scenario_executes() {
+        let mut demo = Scenario::demo();
+        demo.runs = 2;
+        demo.steps = 150;
+        let report = execute(&demo).unwrap();
+        assert_eq!(report.strategy, "spaa93-simple");
+        assert!(report.mean_ratio >= 1.0);
+        assert!(report.ops_per_run > 0.0);
+    }
+
+    #[test]
+    fn every_strategy_kind_executes() {
+        let strategies = vec![
+            StrategyConfig::Full { delta: 1, f: 1.1, c: 4 },
+            StrategyConfig::Simple { delta: 2, f: 1.4 },
+            StrategyConfig::Weighted { delta: 1, f: 1.1, speeds: vec![1; 8] },
+            StrategyConfig::Topo {
+                delta: 1,
+                f: 1.1,
+                topology: TopologyConfig::Hypercube { dim: 3 },
+                neighbors_only: true,
+            },
+            StrategyConfig::Rsu91,
+            StrategyConfig::WorkStealing,
+            StrategyConfig::RandomScatter,
+            StrategyConfig::Gradient {
+                topology: TopologyConfig::Ring,
+                low: 2,
+                high: 8,
+            },
+            StrategyConfig::Diffusion { topology: TopologyConfig::Ring, alpha: 0.25 },
+            StrategyConfig::None,
+        ];
+        for strategy in strategies {
+            let scenario = small_scenario(
+                strategy.clone(),
+                WorkloadConfig::Uniform { p_gen: 0.5, p_con: 0.3 },
+            );
+            let report = execute(&scenario).unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            assert!(report.mean_ratio >= 1.0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn every_workload_kind_executes() {
+        let workloads = vec![
+            WorkloadConfig::Phase { g: (0.1, 0.9), c: (0.1, 0.7), len: (20, 60) },
+            WorkloadConfig::OneProducer { producer: 3 },
+            WorkloadConfig::Uniform { p_gen: 0.4, p_con: 0.4 },
+            WorkloadConfig::MovingHotspot { period: 10, p_con: 0.2 },
+            WorkloadConfig::Split { swap_every: 25 },
+        ];
+        for workload in workloads {
+            let scenario =
+                small_scenario(StrategyConfig::Simple { delta: 1, f: 1.2 }, workload.clone());
+            execute(&scenario).unwrap_or_else(|e| panic!("{workload:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn topology_size_mismatch_is_an_error() {
+        let scenario = small_scenario(
+            StrategyConfig::Topo {
+                delta: 1,
+                f: 1.1,
+                topology: TopologyConfig::Torus { w: 3, h: 2 }, // 6 != 8
+                neighbors_only: false,
+            },
+            WorkloadConfig::OneProducer { producer: 0 },
+        );
+        let err = execute(&scenario).unwrap_err();
+        assert!(err.contains("topology"), "{err}");
+    }
+
+    #[test]
+    fn bad_probabilities_are_an_error() {
+        let scenario = small_scenario(
+            StrategyConfig::Simple { delta: 1, f: 1.2 },
+            WorkloadConfig::Uniform { p_gen: 0.8, p_con: 0.5 },
+        );
+        assert!(execute(&scenario).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Cost and activity counters for the load balancing algorithm.
+//!
+//! The four counters of the paper's Table 1 are `total_borrow`,
+//! `remote_borrow`, `borrow_fail` and `decrease_sim`; the rest quantify
+//! the migration/communication tradeoffs discussed in §1 and §6.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated over a run of the algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Full balancing operations (trigger-driven, over `δ + 1` processors).
+    pub balance_ops: u64,
+    /// Single-class balancing operations (part of the §4 reduce-borrow
+    /// procedure).
+    pub class_balance_ops: u64,
+    /// Real packets moved between processors by balancing operations.
+    pub packets_migrated: u64,
+    /// Borrowed-packet markers moved between processors.
+    pub markers_migrated: u64,
+    /// Borrowing operations: a foreign-class packet consumed locally
+    /// (Table 1 "total borrow").
+    pub total_borrow: u64,
+    /// Remote exchanges of borrowed markers against real generator packets
+    /// (Table 1 "remote borrow").
+    pub remote_borrow: u64,
+    /// Invocations of the §4 procedure to remove a marker whose generator
+    /// had no own packets (Table 1 "borrow fail").
+    pub borrow_fail: u64,
+    /// Initiated simulations of a workload decrease (Table 1 "decrease
+    /// sim").
+    pub decrease_sim: u64,
+    /// Markers settled by annihilation on their home processor.
+    pub markers_settled: u64,
+    /// Generation events (fresh packets plus marker repayments).
+    pub generated: u64,
+    /// Consumption events that removed a real packet.
+    pub consumed: u64,
+    /// Consume requests that could not be served because the processor
+    /// held no packets at all.
+    pub consume_blocked: u64,
+    /// Consume requests that failed despite available load (borrow
+    /// machinery exhausted; should remain 0 or negligible).
+    pub consume_failed: u64,
+    /// Point-to-point messages the algorithm would send (trigger requests,
+    /// load reports, packet transfers counted once per packet).
+    pub messages: u64,
+}
+
+impl Metrics {
+    /// New zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Packets migrated per balancing operation (0 if no operations ran).
+    pub fn migration_per_op(&self) -> f64 {
+        let ops = self.balance_ops + self.class_balance_ops;
+        if ops == 0 {
+            0.0
+        } else {
+            self.packets_migrated as f64 / ops as f64
+        }
+    }
+}
+
+impl AddAssign for Metrics {
+    fn add_assign(&mut self, other: Metrics) {
+        self.balance_ops += other.balance_ops;
+        self.class_balance_ops += other.class_balance_ops;
+        self.packets_migrated += other.packets_migrated;
+        self.markers_migrated += other.markers_migrated;
+        self.total_borrow += other.total_borrow;
+        self.remote_borrow += other.remote_borrow;
+        self.borrow_fail += other.borrow_fail;
+        self.decrease_sim += other.decrease_sim;
+        self.markers_settled += other.markers_settled;
+        self.generated += other.generated;
+        self.consumed += other.consumed;
+        self.consume_blocked += other.consume_blocked;
+        self.consume_failed += other.consume_failed;
+        self.messages += other.messages;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(out, "balance ops        {:>12}", self.balance_ops)?;
+        writeln!(out, "class balance ops  {:>12}", self.class_balance_ops)?;
+        writeln!(out, "packets migrated   {:>12}", self.packets_migrated)?;
+        writeln!(out, "markers migrated   {:>12}", self.markers_migrated)?;
+        writeln!(out, "total borrow       {:>12}", self.total_borrow)?;
+        writeln!(out, "remote borrow      {:>12}", self.remote_borrow)?;
+        writeln!(out, "borrow fail        {:>12}", self.borrow_fail)?;
+        writeln!(out, "decrease sim       {:>12}", self.decrease_sim)?;
+        writeln!(out, "generated          {:>12}", self.generated)?;
+        writeln!(out, "consumed           {:>12}", self.consumed)?;
+        write!(out, "messages           {:>12}", self.messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Metrics { balance_ops: 2, packets_migrated: 10, ..Metrics::new() };
+        let b = Metrics { balance_ops: 3, total_borrow: 7, ..Metrics::new() };
+        a += b;
+        assert_eq!(a.balance_ops, 5);
+        assert_eq!(a.packets_migrated, 10);
+        assert_eq!(a.total_borrow, 7);
+    }
+
+    #[test]
+    fn migration_per_op_handles_zero() {
+        assert_eq!(Metrics::new().migration_per_op(), 0.0);
+        let m = Metrics { balance_ops: 4, packets_migrated: 10, ..Metrics::new() };
+        assert!((m.migration_per_op() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_table1_counters() {
+        let text = Metrics::new().to_string();
+        for key in ["total borrow", "remote borrow", "borrow fail", "decrease sim"] {
+            assert!(text.contains(key), "{key} missing from {text}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Time-series recording of load distributions.
+//!
+//! Experiments repeatedly need "per-step imbalance statistics plus a
+//! summary over a window"; [`LoadRecorder`] collects them once, correctly
+//! (warm-up skipping, mean-floor filtering to avoid meaningless ratios on
+//! a near-empty system) and exposes quantiles.
+
+use crate::strategy::{imbalance_stats, ImbalanceStats};
+
+/// Collects per-step [`ImbalanceStats`] and summarises them.
+#[derive(Debug, Clone)]
+pub struct LoadRecorder {
+    /// Ignore snapshots before this step (warm-up).
+    warmup: usize,
+    /// Ignore snapshots whose mean load is below this floor.
+    mean_floor: f64,
+    samples: Vec<ImbalanceStats>,
+    steps_seen: usize,
+}
+
+impl LoadRecorder {
+    /// A recorder that skips the first `warmup` steps and snapshots with
+    /// mean load below `mean_floor`.
+    pub fn new(warmup: usize, mean_floor: f64) -> Self {
+        LoadRecorder { warmup, mean_floor, samples: Vec::new(), steps_seen: 0 }
+    }
+
+    /// Records one snapshot (call once per step with the current loads).
+    pub fn record(&mut self, loads: &[u64]) {
+        let step = self.steps_seen;
+        self.steps_seen += 1;
+        if step < self.warmup {
+            return;
+        }
+        let stats = imbalance_stats(loads);
+        if stats.mean >= self.mean_floor {
+            self.samples.push(stats);
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the per-step `max/mean` ratios (1.0 when empty).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        self.samples.iter().map(|s| s.max_over_mean).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Quantile `q ∈ [0, 1]` of the per-step `max/mean` ratios
+    /// (nearest-rank; 1.0 when empty).
+    pub fn ratio_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.samples.is_empty() {
+            return 1.0;
+        }
+        let mut ratios: Vec<f64> =
+            self.samples.iter().map(|s| s.max_over_mean).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let idx = ((ratios.len() - 1) as f64 * q).round() as usize;
+        ratios[idx]
+    }
+
+    /// Worst `max/mean` ratio retained (1.0 when empty).
+    pub fn worst_ratio(&self) -> f64 {
+        self.ratio_quantile(1.0)
+    }
+
+    /// Absorbs another recorder's retained samples (for aggregating
+    /// across runs).
+    pub fn merge(&mut self, other: &LoadRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Mean of the per-step standard deviations (0.0 when empty).
+    pub fn mean_std_dev(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.std_dev).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_and_floor_are_respected() {
+        let mut rec = LoadRecorder::new(2, 3.0);
+        rec.record(&[100, 0]); // step 0: warm-up
+        rec.record(&[100, 0]); // step 1: warm-up
+        rec.record(&[1, 1]); // mean 1 < floor
+        rec.record(&[10, 0]); // retained
+        assert_eq!(rec.len(), 1);
+        assert!((rec.mean_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let mut rec = LoadRecorder::new(0, 0.0);
+        rec.record(&[4, 4]); // ratio 1
+        rec.record(&[6, 2]); // ratio 1.5
+        rec.record(&[8, 0]); // ratio 2
+        assert!((rec.ratio_quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((rec.ratio_quantile(0.5) - 1.5).abs() < 1e-12);
+        assert!((rec.worst_ratio() - 2.0).abs() < 1e-12);
+        assert!(rec.ratio_quantile(0.5) <= rec.ratio_quantile(0.9));
+    }
+
+    #[test]
+    fn empty_recorder_defaults() {
+        let rec = LoadRecorder::new(0, 0.0);
+        assert!(rec.is_empty());
+        assert_eq!(rec.mean_ratio(), 1.0);
+        assert_eq!(rec.worst_ratio(), 1.0);
+        assert_eq!(rec.mean_std_dev(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LoadRecorder::new(0, 0.0);
+        a.record(&[4, 4]);
+        let mut b = LoadRecorder::new(0, 0.0);
+        b.record(&[8, 0]);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.worst_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_domain_checked() {
+        LoadRecorder::new(0, 0.0).ratio_quantile(1.5);
+    }
+}

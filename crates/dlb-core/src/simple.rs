@@ -1,0 +1,226 @@
+//! The *practical* variant of the algorithm (the method of [7] the paper's
+//! §1 describes): no virtual load classes — each processor watches its raw
+//! packet count and, when it has grown or shrunk by the factor `f` since
+//! the last balancing it took part in, equalises the load of itself and
+//! `δ` random partners (±1).
+//!
+//! This is the variant the paper's cited applications (branch & bound,
+//! concurrent Prolog, graphics) actually ran; the virtual-class machinery
+//! of [`crate::cluster`] exists to make the analysis of Theorem 4 go
+//! through.  Comparing the two is the `ablation` experiment.
+
+use crate::balance::even_shares;
+use crate::metrics::Metrics;
+use crate::params::Params;
+use crate::strategy::{LoadBalancer, LoadEvent};
+use rand::prelude::*;
+use rand::seq::index::sample;
+use rand_chacha::ChaCha8Rng;
+
+/// The practical raw-load balancer.
+pub struct SimpleCluster {
+    params: Params,
+    loads: Vec<u64>,
+    l_old: Vec<u64>,
+    rng: ChaCha8Rng,
+    metrics: Metrics,
+    initial_total: u64,
+}
+
+impl SimpleCluster {
+    /// An empty cluster.
+    pub fn new(params: Params, seed: u64) -> Self {
+        Self::with_initial_load(params, seed, 0)
+    }
+
+    /// A cluster where every processor starts with `initial` packets.
+    pub fn with_initial_load(params: Params, seed: u64, initial: u64) -> Self {
+        let n = params.n();
+        SimpleCluster {
+            params,
+            loads: vec![initial; n],
+            l_old: vec![initial; n],
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            initial_total: initial * n as u64,
+        }
+    }
+
+    /// The parameter set this cluster runs with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Load of processor `i`.
+    pub fn load(&self, i: usize) -> u64 {
+        self.loads[i]
+    }
+
+    /// Checks conservation of packets; returns the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let total: u64 = self.loads.iter().sum();
+        let expect = self.initial_total + self.metrics.generated - self.metrics.consumed;
+        if total != expect {
+            return Err(format!("global load {total} != expected {expect}"));
+        }
+        Ok(())
+    }
+
+    fn trigger_check(&mut self, i: usize) {
+        let cur = self.loads[i];
+        let last = self.l_old[i];
+        if self.params.grow_triggered(cur, last) || self.params.shrink_triggered(cur, last) {
+            self.full_balance(i);
+        }
+    }
+
+    fn full_balance(&mut self, initiator: usize) {
+        self.metrics.balance_ops += 1;
+        let n = self.params.n();
+        let delta = self.params.delta();
+        let mut members: Vec<usize> = vec![initiator];
+        members.extend(
+            sample(&mut self.rng, n - 1, delta)
+                .iter()
+                .map(|x| if x >= initiator { x + 1 } else { x }),
+        );
+        self.metrics.messages += members.len() as u64;
+        let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
+        let shares = even_shares(total, members.len());
+        for (&m, &share) in members.iter().zip(shares.iter()) {
+            self.metrics.packets_migrated += self.loads[m].saturating_sub(share);
+            self.loads[m] = share;
+            self.l_old[m] = share;
+        }
+    }
+}
+
+impl LoadBalancer for SimpleCluster {
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn loads(&self) -> Vec<u64> {
+        self.loads.clone()
+    }
+
+    fn step(&mut self, events: &[LoadEvent]) {
+        assert_eq!(events.len(), self.params.n(), "one event per processor");
+        for (i, &ev) in events.iter().enumerate() {
+            match ev {
+                LoadEvent::Generate => {
+                    self.loads[i] += 1;
+                    self.metrics.generated += 1;
+                    self.trigger_check(i);
+                }
+                LoadEvent::Consume => {
+                    if self.loads[i] > 0 {
+                        self.loads[i] -= 1;
+                        self.metrics.consumed += 1;
+                        self.trigger_check(i);
+                    } else {
+                        self.metrics.consume_blocked += 1;
+                    }
+                }
+                LoadEvent::Idle => {}
+            }
+        }
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        "spaa93-simple"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_balances_and_conserves() {
+        let params = Params::paper_section7(8);
+        let mut cluster = SimpleCluster::new(params, 1);
+        let events = vec![LoadEvent::Generate; 8];
+        for _ in 0..500 {
+            cluster.step(&events);
+        }
+        cluster.check_invariants().unwrap();
+        let loads = cluster.loads();
+        assert_eq!(loads.iter().sum::<u64>(), 8 * 500);
+        let stats = crate::strategy::imbalance_stats(&loads);
+        assert!(stats.max_over_mean < 1.3, "{stats:?}");
+    }
+
+    #[test]
+    fn one_producer_ratio_near_theorem_bound() {
+        // Large initial load to make the f-trigger granularity negligible;
+        // generator-only workload approximates the §3 model.
+        let params = Params::new(32, 2, 1.5, 4).unwrap();
+        let mut total_ratio = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let mut cluster = SimpleCluster::with_initial_load(params, seed, 1_000);
+            let mut events = vec![LoadEvent::Idle; 32];
+            events[0] = LoadEvent::Generate;
+            for _ in 0..60_000 {
+                cluster.step(&events);
+            }
+            let loads = cluster.loads();
+            let others = loads[1..].iter().sum::<u64>() as f64 / 31.0;
+            total_ratio += loads[0] as f64 / others;
+        }
+        let mean_ratio = total_ratio / runs as f64;
+        // Theorem 2 bound δ/(δ+1−f) = 2/1.5 ≈ 1.33; the empirical mean
+        // ratio should be near (and statistically not far above) it.
+        let bound = dlb_theory::operators::fix_limit(2, 1.5);
+        assert!(mean_ratio < bound * 1.25, "mean ratio {mean_ratio} vs bound {bound}");
+        assert!(mean_ratio > 1.0, "producer should carry more: {mean_ratio}");
+    }
+
+    #[test]
+    fn consume_drains_to_zero() {
+        let params = Params::paper_section7(4);
+        let mut cluster = SimpleCluster::with_initial_load(params, 5, 100);
+        let events = vec![LoadEvent::Consume; 4];
+        for _ in 0..150 {
+            cluster.step(&events);
+        }
+        assert_eq!(cluster.loads().iter().sum::<u64>(), 0);
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = Params::paper_section7(8);
+        let run = |seed| {
+            let mut c = SimpleCluster::new(params, seed);
+            let events: Vec<LoadEvent> =
+                (0..8).map(|i| if i % 2 == 0 { LoadEvent::Generate } else { LoadEvent::Consume }).collect();
+            for _ in 0..200 {
+                c.step(&events);
+            }
+            c.loads()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn smaller_f_gives_more_balance_ops() {
+        // §6 tradeoff: lower f = better balance but more operations.
+        let count_ops = |f: f64| {
+            let params = Params::new(16, 1, f, 4).unwrap();
+            let mut cluster = SimpleCluster::new(params, 3);
+            let events = vec![LoadEvent::Generate; 16];
+            for _ in 0..300 {
+                cluster.step(&events);
+            }
+            cluster.metrics().balance_ops
+        };
+        assert!(count_ops(1.1) > count_ops(1.8), "ops(1.1) > ops(1.8)");
+    }
+}

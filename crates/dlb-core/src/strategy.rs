@@ -1,0 +1,99 @@
+//! The common interface every balancing strategy implements (the full
+//! algorithm, the practical variant and the baselines in
+//! `dlb-baselines`), plus load-distribution statistics.
+
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// What a processor does in one global time step (§2: generate one packet,
+/// consume one locally available packet, or do nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadEvent {
+    /// Generate one work packet.
+    Generate,
+    /// Consume one locally available packet (skipped when none is held).
+    Consume,
+    /// Do nothing.
+    Idle,
+}
+
+/// A distributed load balancing strategy driven by per-processor events.
+pub trait LoadBalancer {
+    /// Number of processors.
+    fn n(&self) -> usize;
+
+    /// Current number of packets on each processor.
+    fn loads(&self) -> Vec<u64>;
+
+    /// Advances one global time step; `events[i]` is processor `i`'s
+    /// action.  `events.len()` must equal [`LoadBalancer::n`].
+    fn step(&mut self, events: &[LoadEvent]);
+
+    /// Activity counters accumulated so far.
+    fn metrics(&self) -> &Metrics;
+
+    /// Short human-readable strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Summary statistics of a load distribution snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceStats {
+    /// Smallest per-processor load.
+    pub min: u64,
+    /// Largest per-processor load.
+    pub max: u64,
+    /// Mean load.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// `max / mean` (1.0 for an empty or perfectly flat system).
+    pub max_over_mean: f64,
+}
+
+/// Computes [`ImbalanceStats`] for a load snapshot.
+pub fn imbalance_stats(loads: &[u64]) -> ImbalanceStats {
+    if loads.is_empty() {
+        return ImbalanceStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0, max_over_mean: 1.0 };
+    }
+    let min = *loads.iter().min().expect("non-empty");
+    let max = *loads.iter().max().expect("non-empty");
+    let n = loads.len() as f64;
+    let mean = loads.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = loads.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+    let max_over_mean = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    ImbalanceStats { min, max, mean, std_dev: var.sqrt(), max_over_mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_flat_distribution() {
+        let s = imbalance_stats(&[5, 5, 5, 5]);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.std_dev, 0.0);
+        assert!((s.max_over_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_skewed_distribution() {
+        let s = imbalance_stats(&[0, 10]);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 5.0).abs() < 1e-12);
+        assert!((s.max_over_mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_and_zero() {
+        let empty = imbalance_stats(&[]);
+        assert_eq!(empty.max, 0);
+        let zeros = imbalance_stats(&[0, 0]);
+        assert_eq!(zeros.max_over_mean, 1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Heterogeneous processors: balancing proportional to speed.
+//!
+//! The paper assumes identical processors; on a machine where processor
+//! `i` retires `s_i` packets per step, equal loads are *wrong* — the
+//! balanced state has `l_i ∝ s_i` so that every processor finishes its
+//! pool at the same time.  This extension (in the spirit of the paper's
+//! "further research" on adapting the scheme) keeps the trigger rule
+//! untouched and changes only the redistribution: a balance operation
+//! gives member `i` the share `⌊total · s_i / Σs⌋` plus largest-remainder
+//! corrections, so the *normalised* loads `l_i / s_i` are equalised as
+//! tightly as indivisibility allows.
+
+use crate::metrics::Metrics;
+use crate::params::Params;
+use crate::strategy::{LoadBalancer, LoadEvent};
+use rand::prelude::*;
+use rand::seq::index::sample;
+use rand_chacha::ChaCha8Rng;
+
+/// Splits `total` proportionally to `weights` (largest-remainder method;
+/// exact conservation, shares within one packet of the real proportion).
+pub fn proportional_shares(total: u64, weights: &[u64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "need at least one member");
+    let weight_sum: u64 = weights.iter().sum();
+    assert!(weight_sum > 0, "total weight must be positive");
+    let mut shares: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact_num = (total as u128) * (w as u128);
+        let share = (exact_num / weight_sum as u128) as u64;
+        let rem = (exact_num % weight_sum as u128) as u64;
+        shares.push(share);
+        remainders.push((rem, i));
+        assigned += share;
+    }
+    // Hand the leftover packets to the largest remainders.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for k in 0..(total - assigned) as usize {
+        shares[remainders[k].1] += 1;
+    }
+    shares
+}
+
+/// The practical balancer for heterogeneous processor speeds.
+pub struct WeightedCluster {
+    params: Params,
+    /// Relative speed of each processor (packets retired per step).
+    speeds: Vec<u64>,
+    loads: Vec<u64>,
+    l_old: Vec<u64>,
+    rng: ChaCha8Rng,
+    metrics: Metrics,
+}
+
+impl WeightedCluster {
+    /// A cluster with per-processor speeds (all positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds.len() != params.n()` or any speed is zero.
+    pub fn new(params: Params, speeds: Vec<u64>, seed: u64) -> Self {
+        assert_eq!(speeds.len(), params.n(), "one speed per processor");
+        assert!(speeds.iter().all(|&s| s > 0), "speeds must be positive");
+        let n = params.n();
+        WeightedCluster {
+            params,
+            speeds,
+            loads: vec![0; n],
+            l_old: vec![0; n],
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The processor speeds.
+    pub fn speeds(&self) -> &[u64] {
+        &self.speeds
+    }
+
+    /// Normalised loads `l_i / s_i` (the quantity the balancer equalises).
+    pub fn normalized_loads(&self) -> Vec<f64> {
+        self.loads.iter().zip(self.speeds.iter()).map(|(&l, &s)| l as f64 / s as f64).collect()
+    }
+
+    /// max/mean of the normalised loads (1.0 = perfectly speed-balanced).
+    pub fn normalized_imbalance(&self) -> f64 {
+        let norm = self.normalized_loads();
+        let mean = norm.iter().sum::<f64>() / norm.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        norm.iter().copied().fold(0.0, f64::max) / mean
+    }
+
+    fn trigger_check(&mut self, i: usize) {
+        let (cur, last) = (self.loads[i], self.l_old[i]);
+        if self.params.grow_triggered(cur, last) || self.params.shrink_triggered(cur, last) {
+            self.full_balance(i);
+        }
+    }
+
+    fn full_balance(&mut self, initiator: usize) {
+        self.metrics.balance_ops += 1;
+        let n = self.params.n();
+        let delta = self.params.delta();
+        let mut members: Vec<usize> = vec![initiator];
+        members.extend(
+            sample(&mut self.rng, n - 1, delta)
+                .iter()
+                .map(|x| if x >= initiator { x + 1 } else { x }),
+        );
+        self.metrics.messages += members.len() as u64;
+        let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
+        let weights: Vec<u64> = members.iter().map(|&m| self.speeds[m]).collect();
+        let shares = proportional_shares(total, &weights);
+        for (&m, &share) in members.iter().zip(shares.iter()) {
+            self.metrics.packets_migrated += self.loads[m].saturating_sub(share);
+            self.loads[m] = share;
+            self.l_old[m] = share;
+        }
+    }
+}
+
+impl LoadBalancer for WeightedCluster {
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn loads(&self) -> Vec<u64> {
+        self.loads.clone()
+    }
+
+    fn step(&mut self, events: &[LoadEvent]) {
+        assert_eq!(events.len(), self.params.n(), "one event per processor");
+        for (i, &ev) in events.iter().enumerate() {
+            match ev {
+                LoadEvent::Generate => {
+                    self.loads[i] += 1;
+                    self.metrics.generated += 1;
+                    self.trigger_check(i);
+                }
+                LoadEvent::Consume => {
+                    if self.loads[i] > 0 {
+                        self.loads[i] -= 1;
+                        self.metrics.consumed += 1;
+                        self.trigger_check(i);
+                    } else {
+                        self.metrics.consume_blocked += 1;
+                    }
+                }
+                LoadEvent::Idle => {}
+            }
+        }
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        "spaa93-weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_shares_conserve_and_track_weights() {
+        let shares = proportional_shares(100, &[1, 2, 7]);
+        assert_eq!(shares.iter().sum::<u64>(), 100);
+        assert_eq!(shares, vec![10, 20, 70]);
+        // Indivisible leftovers go to the largest remainders.
+        let shares = proportional_shares(10, &[1, 1, 1]);
+        assert_eq!(shares.iter().sum::<u64>(), 10);
+        assert!(shares.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_even_split() {
+        let shares = proportional_shares(11, &[5, 5]);
+        assert_eq!(shares.iter().sum::<u64>(), 11);
+        assert!(shares[0].abs_diff(shares[1]) <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn zero_weights_rejected() {
+        proportional_shares(5, &[0, 0]);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_balances_by_speed() {
+        // Speeds 1/2/4/8: the fast processor should end with ~8x the
+        // load of the slow one, all normalised loads roughly equal.
+        let params = Params::new(4, 1, 1.1, 4).unwrap();
+        let speeds = vec![1u64, 2, 4, 8];
+        let mut cluster = WeightedCluster::new(params, speeds, 7);
+        let mut events = vec![LoadEvent::Idle; 4];
+        events[0] = LoadEvent::Generate;
+        for _ in 0..6000 {
+            cluster.step(&events);
+        }
+        let loads = cluster.loads();
+        assert_eq!(loads.iter().sum::<u64>(), 6000);
+        assert!(
+            loads[3] > 4 * loads[0],
+            "fast processor carries much more: {loads:?}"
+        );
+        assert!(
+            cluster.normalized_imbalance() < 1.5,
+            "normalised loads equalised: {:?}",
+            cluster.normalized_loads()
+        );
+    }
+
+    #[test]
+    fn uniform_speeds_match_simple_cluster_quality() {
+        let params = Params::paper_section7(8);
+        let mut weighted = WeightedCluster::new(params, vec![3; 8], 5);
+        let events = vec![LoadEvent::Generate; 8];
+        for _ in 0..400 {
+            weighted.step(&events);
+        }
+        let loads = weighted.loads();
+        assert_eq!(loads.iter().sum::<u64>(), 8 * 400);
+        let spread = loads.iter().max().unwrap() - loads.iter().min().unwrap();
+        assert!(spread <= 8, "uniform speeds behave like the unweighted balancer: {loads:?}");
+    }
+
+    #[test]
+    fn conservation_under_mixed_events() {
+        let params = Params::new(6, 2, 1.4, 4).unwrap();
+        let mut cluster = WeightedCluster::new(params, vec![1, 1, 2, 2, 3, 3], 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..500 {
+            let events: Vec<LoadEvent> = (0..6)
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => LoadEvent::Generate,
+                    1 => LoadEvent::Consume,
+                    _ => LoadEvent::Idle,
+                })
+                .collect();
+            cluster.step(&events);
+        }
+        let m = cluster.metrics();
+        assert_eq!(cluster.loads().iter().sum::<u64>(), m.generated - m.consumed);
+    }
+
+    #[test]
+    #[should_panic(expected = "one speed per processor")]
+    fn speed_count_validated() {
+        WeightedCluster::new(Params::paper_section7(4), vec![1, 2], 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal `--key value` argument parsing for the experiment binaries
+//! (no external CLI dependency).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments; unknown bare words are rejected.
+    pub fn from_env() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (used by tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = iter.into_iter();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                panic!("unexpected argument {key:?}; expected --key value pairs");
+            };
+            let Some(value) = iter.next() else {
+                panic!("missing value for --{name}");
+            };
+            values.insert(name.to_string(), value);
+        }
+        Args { values }
+    }
+
+    /// Returns `--name` parsed as `T`, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when the value does not parse.
+    pub fn get<T: FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => default,
+            Some(raw) => match raw.parse() {
+                Ok(v) => v,
+                Err(e) => panic!("invalid value {raw:?} for --{name}: {e}"),
+            },
+        }
+    }
+
+    /// True when `--name` was supplied.
+    pub fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse_from(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_typed_values() {
+        let a = args(&["--delta", "4", "--f", "1.8", "--out", "x.csv"]);
+        assert_eq!(a.get("delta", 1usize), 4);
+        assert!((a.get("f", 1.1f64) - 1.8).abs() < 1e-12);
+        assert_eq!(a.get::<String>("out", "d".into()), "x.csv");
+        assert_eq!(a.get("runs", 100usize), 100, "default used");
+        assert!(a.has("delta") && !a.has("runs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_value_panics() {
+        args(&["--delta"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --key value")]
+    fn bare_word_panics() {
+        args(&["delta", "4"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_parse_panics() {
+        let a = args(&["--delta", "abc"]);
+        a.get("delta", 1usize);
+    }
+}

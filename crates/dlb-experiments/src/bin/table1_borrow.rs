@@ -1,0 +1,63 @@
+//! Table 1: borrow statistics (total borrow, remote borrow, borrow fail,
+//! decrease sim) for `C ∈ {4, 8, 16, 32}` on the §7 workload with
+//! `f = 1.1`, `δ = 1`, under both exchange policies.
+//!
+//! Usage: `cargo run --release -p dlb-experiments --bin table1_borrow
+//!         [--n 64] [--steps 500] [--runs 100]`
+
+use dlb_core::ExchangePolicy;
+use dlb_experiments::args::Args;
+use dlb_experiments::report::{f3, render_table, write_csv};
+use dlb_experiments::table1::table1_row;
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = args.get("n", 64);
+    let steps: usize = args.get("steps", 500);
+    let runs: usize = args.get("runs", 100);
+    let out: String = args.get("out", "results/table1.csv".to_string());
+
+    println!(
+        "Table 1: borrow statistics vs C, per processor per run (f = 1.1, delta = 1, {n} procs, \
+         {steps} steps, {runs} runs)\n"
+    );
+    let mut csv_rows = Vec::new();
+    for policy in [ExchangePolicy::Strict, ExchangePolicy::Aggressive] {
+        let mut rows = Vec::new();
+        for c in [4usize, 8, 16, 32] {
+            let row = table1_row(n, steps, runs, c, policy, 31);
+            rows.push(vec![
+                c.to_string(),
+                f3(row.total_borrow),
+                f3(row.remote_borrow),
+                f3(row.borrow_fail),
+                f3(row.decrease_sim),
+            ]);
+            csv_rows.push(vec![
+                format!("{policy:?}"),
+                c.to_string(),
+                f3(row.total_borrow),
+                f3(row.remote_borrow),
+                f3(row.borrow_fail),
+                f3(row.decrease_sim),
+            ]);
+        }
+        println!("exchange policy: {policy:?}");
+        println!(
+            "{}",
+            render_table(
+                &["C", "total borrow", "remote borrow", "borrow fail", "decrease sim"],
+                &rows
+            )
+        );
+    }
+    println!("Expected shape (paper, C=4..32): total borrow ~constant (~108);");
+    println!("remote borrow, borrow fail and decrease sim collapse as C grows.");
+    write_csv(
+        &out,
+        &["policy", "C", "total_borrow", "remote_borrow", "borrow_fail", "decrease_sim"],
+        &csv_rows,
+    )
+    .expect("CSV written");
+    println!("\nwrote {out}");
+}

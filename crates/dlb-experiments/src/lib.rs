@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation, plus the theory-validation tables and the ablations listed
+//! in DESIGN.md.
+//!
+//! Each binary under `src/bin/` is one experiment; the shared logic lives
+//! here so it is unit-testable at reduced sizes:
+//!
+//! | binary              | paper artefact                                   |
+//! |---------------------|--------------------------------------------------|
+//! | `thm_bounds`        | Theorems 1–3 (FIX tables, convergence)           |
+//! | `thm4_check`        | Theorem 4 bound vs. the full algorithm           |
+//! | `fig6_variation`    | Figure 6 (variation density curves)              |
+//! | `fig7_quality`      | Figures 7/8 (balancing quality over time)        |
+//! | `fig9_distribution` | Figures 9/10 (per-processor distributions)       |
+//! | `table1_borrow`     | Table 1 (borrow statistics vs C)                 |
+//! | `lemma_bounds`      | §6 (Lemma 5/6 bounds vs simulation)              |
+//! | `baseline_compare`  | §1/§5 qualitative claims vs baselines            |
+//! | `scaling`           | "up to 1024 processors" scaling claim            |
+//! | `ablation`          | full vs simple variant, exchange policy, locality|
+
+pub mod args;
+pub mod quality;
+pub mod report;
+pub mod svg;
+pub mod table1;
+pub mod variation;
+
+pub use quality::{balancing_quality, distribution_at, QualityCurves, SnapshotDistribution};
+pub use report::{ascii_plot, render_table, write_csv};
+pub use table1::{table1_row, Table1Row};

@@ -1,0 +1,273 @@
+//! Balancing-quality measurements: Figures 7/8 (load curves over time),
+//! Figures 9/10 (per-processor distributions at fixed times) and the
+//! Theorem 4 bound check.
+//!
+//! Methodology mirrors §7: the §7 phase workload on `n` processors, every
+//! experiment repeated over `runs` seeded runs; we record the mean load
+//! (over processors and runs) plus the minimum and maximum load *ever
+//! observed in any run* at each time step.  For comparability across
+//! parameter sets, run `r` always replays the same recorded event trace.
+
+use dlb_core::{Cluster, LoadBalancer, Params};
+use dlb_theory::TheoremBounds;
+use dlb_workload::phase::{PhaseConfig, PhaseWorkload};
+use dlb_workload::trace::EventTrace;
+use dlb_workload::{drive, Workload};
+
+/// Mean/min/max load per time step, aggregated over processors and runs
+/// (the curves of Figures 7 and 8).
+#[derive(Debug, Clone)]
+pub struct QualityCurves {
+    /// Mean load over processors and runs, per step.
+    pub mean: Vec<f64>,
+    /// Minimum load of any processor in any run, per step.
+    pub min: Vec<u64>,
+    /// Maximum load of any processor in any run, per step.
+    pub max: Vec<u64>,
+}
+
+impl QualityCurves {
+    /// `max[t] − min[t]` at the final step: the paper's visual gap.
+    pub fn final_spread(&self) -> u64 {
+        let last = self.mean.len() - 1;
+        self.max[last] - self.min[last]
+    }
+
+    /// Largest `max/mean` over all steps with `mean ≥ floor` (small means
+    /// make the ratio meaningless at startup).
+    pub fn worst_ratio(&self, floor: f64) -> f64 {
+        self.mean
+            .iter()
+            .zip(self.max.iter())
+            .filter(|(&m, _)| m >= floor)
+            .map(|(&m, &mx)| mx as f64 / m)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Records the §7 phase workload trace for run `r` (same trace for every
+/// parameter set, so differences are attributable to the balancer).
+pub fn paper_trace(n: usize, steps: usize, run: u64) -> EventTrace {
+    let mut workload = PhaseWorkload::new(n, steps, PhaseConfig::paper_section7(), run);
+    EventTrace::record(&mut workload, steps)
+}
+
+/// Figures 7/8 for an arbitrary balancer factory: `make(run)` builds the
+/// balancer for run `run`, which is then driven by that run's recorded
+/// paper trace.
+pub fn quality_curves_with<B: LoadBalancer>(
+    make: impl Fn(u64) -> B,
+    n: usize,
+    steps: usize,
+    runs: usize,
+    base_seed: u64,
+) -> QualityCurves {
+    let mut mean = vec![0.0f64; steps];
+    let mut min = vec![u64::MAX; steps];
+    let mut max = vec![0u64; steps];
+    for r in 0..runs {
+        let seed = base_seed.wrapping_add(r as u64);
+        let trace = paper_trace(n, steps, seed);
+        let mut replay = trace.replay();
+        let mut balancer = make(seed);
+        drive(&mut balancer, &mut replay, steps, |t, b| {
+            let loads = b.loads();
+            mean[t] += loads.iter().map(|&l| l as f64).sum::<f64>() / n as f64;
+            let lo = *loads.iter().min().expect("n > 0");
+            let hi = *loads.iter().max().expect("n > 0");
+            min[t] = min[t].min(lo);
+            max[t] = max[t].max(hi);
+        });
+    }
+    for m in &mut mean {
+        *m /= runs as f64;
+    }
+    QualityCurves { mean, min, max }
+}
+
+/// Figures 7/8 with the full virtual-class algorithm.
+pub fn balancing_quality(
+    params: Params,
+    steps: usize,
+    runs: usize,
+    base_seed: u64,
+) -> QualityCurves {
+    quality_curves_with(
+        |seed| Cluster::new(params, seed ^ 0x5eed),
+        params.n(),
+        steps,
+        runs,
+        base_seed,
+    )
+}
+
+/// Per-processor load distribution at one checkpoint (Figures 9/10):
+/// mean over runs plus min/max ever observed, per processor.
+#[derive(Debug, Clone)]
+pub struct SnapshotDistribution {
+    /// The global time step of the snapshot.
+    pub t: usize,
+    /// Mean load per processor over runs.
+    pub mean: Vec<f64>,
+    /// Minimum load per processor over runs.
+    pub min: Vec<u64>,
+    /// Maximum load per processor over runs.
+    pub max: Vec<u64>,
+}
+
+impl SnapshotDistribution {
+    /// Gap between the most and least loaded processor means.
+    pub fn mean_spread(&self) -> f64 {
+        let lo = self.mean.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.mean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    }
+}
+
+/// Figures 9/10: distributions at each checkpoint for the full algorithm.
+pub fn distribution_at(
+    params: Params,
+    steps: usize,
+    checkpoints: &[usize],
+    runs: usize,
+    base_seed: u64,
+) -> Vec<SnapshotDistribution> {
+    let n = params.n();
+    let mut snaps: Vec<SnapshotDistribution> = checkpoints
+        .iter()
+        .map(|&t| SnapshotDistribution {
+            t,
+            mean: vec![0.0; n],
+            min: vec![u64::MAX; n],
+            max: vec![0; n],
+        })
+        .collect();
+    for r in 0..runs {
+        let seed = base_seed.wrapping_add(r as u64);
+        let trace = paper_trace(n, steps, seed);
+        let mut replay = trace.replay();
+        let mut balancer = Cluster::new(params, seed ^ 0x5eed);
+        drive(&mut balancer, &mut replay, steps, |t, b| {
+            for snap in snaps.iter_mut().filter(|s| s.t == t) {
+                for (i, &l) in b.loads().iter().enumerate() {
+                    snap.mean[i] += l as f64;
+                    snap.min[i] = snap.min[i].min(l);
+                    snap.max[i] = snap.max[i].max(l);
+                }
+            }
+        });
+    }
+    for snap in &mut snaps {
+        for m in &mut snap.mean {
+            *m /= runs as f64;
+        }
+    }
+    snaps
+}
+
+/// Theorem 4 check: estimates per-processor expected loads at the
+/// checkpoints and verifies `E(l_i) ≤ f²·δ/(δ+1−f)·(E(l_j) + C)` for all
+/// ordered pairs.  Returns `(pairs_checked, violations)`.
+pub fn theorem4_check(
+    params: Params,
+    steps: usize,
+    checkpoints: &[usize],
+    runs: usize,
+    base_seed: u64,
+) -> (u64, u64) {
+    let bounds = TheoremBounds::for_params(params.algo());
+    let snaps = distribution_at(params, steps, checkpoints, runs, base_seed);
+    let mut checked = 0u64;
+    let mut violations = 0u64;
+    for snap in &snaps {
+        for (i, &ei) in snap.mean.iter().enumerate() {
+            for (j, &ej) in snap.mean.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                checked += 1;
+                if !bounds.theorem4_holds(ei, ej, params.c_borrow(), 0.0) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    (checked, violations)
+}
+
+/// Drives a single balancer over an existing trace and returns final
+/// loads (helper shared by the comparison binaries).
+pub fn run_on_trace<B: LoadBalancer>(balancer: &mut B, trace: &EventTrace) -> Vec<u64> {
+    let mut replay = trace.replay();
+    let steps = trace.steps();
+    let mut events = Vec::new();
+    for t in 0..steps {
+        replay.events_at(t, &mut events);
+        balancer.step(&events);
+    }
+    balancer.loads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        Params::new(8, 1, 1.1, 4).expect("valid")
+    }
+
+    #[test]
+    fn quality_curves_shape_and_ordering() {
+        let q = balancing_quality(small_params(), 60, 3, 1);
+        assert_eq!(q.mean.len(), 60);
+        for t in 0..60 {
+            assert!(q.min[t] as f64 <= q.mean[t] + 1e-9, "t={t}");
+            assert!(q.mean[t] <= q.max[t] as f64 + 1e-9, "t={t}");
+        }
+        assert!(q.worst_ratio(5.0) >= 1.0);
+    }
+
+    #[test]
+    fn smaller_f_tightens_the_band() {
+        // The headline claim of Figures 7/8: lower f (or higher δ) gives a
+        // narrower min–max band.
+        let tight = balancing_quality(Params::new(8, 4, 1.1, 4).unwrap(), 150, 5, 7);
+        let loose = balancing_quality(Params::new(8, 1, 1.8, 4).unwrap(), 150, 5, 7);
+        assert!(
+            tight.final_spread() <= loose.final_spread(),
+            "tight {} vs loose {}",
+            tight.final_spread(),
+            loose.final_spread()
+        );
+    }
+
+    #[test]
+    fn distribution_checkpoints_match_requested_times() {
+        let snaps = distribution_at(small_params(), 50, &[10, 40], 3, 2);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].t, 10);
+        assert_eq!(snaps[1].t, 40);
+        for snap in &snaps {
+            assert_eq!(snap.mean.len(), 8);
+            for i in 0..8 {
+                assert!(snap.min[i] as f64 <= snap.mean[i] + 1e-9);
+                assert!(snap.mean[i] <= snap.max[i] as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem4_holds_on_small_instance() {
+        let (checked, violations) = theorem4_check(small_params(), 80, &[40, 79], 5, 3);
+        assert!(checked > 0);
+        assert_eq!(violations, 0, "Theorem 4 must hold empirically");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_curves() {
+        let a = balancing_quality(small_params(), 40, 2, 9);
+        let b = balancing_quality(small_params(), 40, 2, 9);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.max, b.max);
+    }
+}

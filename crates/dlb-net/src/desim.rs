@@ -1,0 +1,681 @@
+//! Asynchronous discrete-event simulation of the balancer as a real
+//! message protocol.
+//!
+//! §2 assumes a balancing operation completes atomically in constant
+//! time.  On a real machine it is a message exchange: the initiator
+//! locks itself, asks `δ` partners for their load, partners grant or
+//! refuse (they may be engaged in another operation), the initiator
+//! computes the even shares and orders transfers, packets travel with
+//! latency, and everyone unlocks.  This module implements that protocol
+//! over an event queue with a configurable per-message `latency`, so the
+//! experiments can measure how the balance quality degrades as the
+//! network gets slower relative to the load dynamics — the gap between
+//! the paper's model and a real machine.
+//!
+//! Protocol (per balancing attempt):
+//!
+//! 1. trigger → initiator locks itself, sends `LoadRequest` to `δ`
+//!    random partners;
+//! 2. each partner replies `LoadReply { granted, load }`; it grants iff
+//!    it is not itself locked (and locks itself for the op);
+//! 3. when all replies are in, the initiator computes ±1 shares over
+//!    itself and the granting partners and sends each a
+//!    `TransferOrder { new_share }`; partners in surplus ship the excess
+//!    (`Transfer`) to the initiator, deficit partners are topped up by
+//!    the initiator from the collected pool, then unlocked;
+//! 4. if every partner refused, the attempt counts as *aborted*.
+//!
+//! Packets in flight belong to no processor; conservation therefore
+//! reads `Σ loads + in_flight = generated − consumed` (tested).
+
+use crate::rng::stream;
+use dlb_core::{Metrics, Params};
+use rand::prelude::*;
+use rand::seq::index::sample;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of the asynchronous network.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncConfig {
+    /// Algorithm parameters (n, δ, f; the borrow machinery is not used —
+    /// this simulates the practical variant).
+    pub params: Params,
+    /// Message latency in time units (a generate/consume tick is 1).
+    pub latency: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Probability that a *control* message (request/reply/order) is
+    /// lost.  Transfers are never dropped (packets are never destroyed);
+    /// lost control messages are recovered by the initiator timeout.
+    pub control_loss: f64,
+}
+
+impl AsyncConfig {
+    /// A reliable network (no control-message loss).
+    pub fn reliable(params: Params, latency: u64, seed: u64) -> Self {
+        AsyncConfig { params, latency, seed, control_loss: 0.0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Payload {
+    /// Initiator asks a partner to join a balancing operation.
+    LoadRequest { op: u64 },
+    /// Partner's answer (its load is meaningful only when granted).
+    LoadReply { op: u64, granted: bool, load: u64 },
+    /// Initiator tells a member its target share.
+    TransferOrder { op: u64, new_share: u64 },
+    /// `amount` packets moving between processors.
+    Transfer { op: u64, amount: u64, final_for_sender: bool },
+    /// Initiator-side timeout: outstanding replies for `op` are written
+    /// off as refusals (recovers from lost control messages).
+    ReplyTimeout { op: u64 },
+    /// Initiator-side timeout for the transfer phase: missing surplus
+    /// shipments are written off (their `TransferOrder` was lost; the
+    /// member never moved any packets).
+    SettleTimeout { op: u64 },
+    /// Partner-side lock lease: a partner that granted an operation but
+    /// never heard back unlocks itself.
+    LeaseExpiry { op: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    to: usize,
+    from: usize,
+    payload: Payload,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpState {
+    /// Operation id (guards against stale messages).
+    id: u64,
+    /// Members that granted (initiator excluded).
+    granted: Vec<(usize, u64)>,
+    /// Replies still outstanding.
+    awaiting_replies: usize,
+    /// Surplus transfers the initiator still waits for.
+    awaiting_transfers: usize,
+    /// Pool collected from surplus members (plus own surplus).
+    pool: u64,
+    /// Deficit members to top up once the pool is complete.
+    deficits: Vec<(usize, u64)>,
+    /// The initiator's own target share.
+    own_share: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProcState {
+    load: u64,
+    l_old: u64,
+    /// Locked while participating in some operation.
+    locked: bool,
+    /// Which operation holds the lock when locked as a *partner*.
+    locked_for: Option<u64>,
+    /// Active operation if this processor is an initiator.
+    op: Option<OpState>,
+}
+
+/// Statistics of an asynchronous run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncStats {
+    /// Completed balancing operations.
+    pub completed_ops: u64,
+    /// Attempts aborted because every partner refused.
+    pub aborted_ops: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Packets that travelled in `Transfer` messages.
+    pub packets_moved: u64,
+    /// Control messages dropped by failure injection.
+    pub lost_messages: u64,
+    /// Operations salvaged by a reply timeout.
+    pub timeout_recoveries: u64,
+}
+
+/// The asynchronous network simulator (practical variant, message-level).
+pub struct AsyncNetwork {
+    config: AsyncConfig,
+    procs: Vec<ProcState>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: u64,
+    seq: u64,
+    in_flight: u64,
+    next_op: u64,
+    rng: ChaCha8Rng,
+    metrics: Metrics,
+    stats: AsyncStats,
+}
+
+impl AsyncNetwork {
+    /// An empty asynchronous network.
+    pub fn new(config: AsyncConfig) -> Self {
+        AsyncNetwork {
+            config,
+            procs: vec![ProcState::default(); config.params.n()],
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            in_flight: 0,
+            next_op: 0,
+            rng: stream(config.seed, u64::MAX),
+            metrics: Metrics::new(),
+            stats: AsyncStats::default(),
+        }
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current loads (packets in flight excluded).
+    pub fn loads(&self) -> Vec<u64> {
+        self.procs.iter().map(|p| p.load).collect()
+    }
+
+    /// Packets currently inside `Transfer` messages.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Activity counters (generate/consume/migration bookkeeping).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &AsyncStats {
+        &self.stats
+    }
+
+    /// Number of processors currently locked (diagnostics/liveness tests).
+    pub fn locked_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.locked).count()
+    }
+
+    /// Conservation check: loads + in-flight = generated − consumed.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let total: u64 = self.procs.iter().map(|p| p.load).sum();
+        let expect = self.metrics.generated - self.metrics.consumed;
+        if total + self.in_flight != expect {
+            return Err(format!(
+                "loads {total} + in flight {} != generated - consumed = {expect}",
+                self.in_flight
+            ));
+        }
+        Ok(())
+    }
+
+    /// Advances time to `t`, delivering all messages due on the way, then
+    /// applies one generate (`+1`) / consume (`−1`) / idle (`0`) tick to
+    /// every processor.
+    pub fn tick(&mut self, t: u64, actions: &[i8]) {
+        assert!(t >= self.now, "time must not run backwards");
+        assert_eq!(actions.len(), self.procs.len(), "one action per processor");
+        self.drain_until(t);
+        self.now = t;
+        for (i, &a) in actions.iter().enumerate() {
+            match a {
+                1 => {
+                    self.procs[i].load += 1;
+                    self.metrics.generated += 1;
+                    self.maybe_trigger(i);
+                }
+                -1 => {
+                    if self.procs[i].load > 0 {
+                        self.procs[i].load -= 1;
+                        self.metrics.consumed += 1;
+                        self.maybe_trigger(i);
+                    } else {
+                        self.metrics.consume_blocked += 1;
+                    }
+                }
+                0 => {}
+                other => panic!("invalid action {other}; use -1, 0, 1"),
+            }
+        }
+    }
+
+    /// Delivers every outstanding message (call at the end of a run).
+    pub fn quiesce(&mut self) {
+        self.drain_until(u64::MAX);
+    }
+
+    fn drain_until(&mut self, t: u64) {
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > t {
+                break;
+            }
+            self.queue.pop();
+            self.now = ev.time;
+            self.handle(ev);
+        }
+    }
+
+    fn send(&mut self, from: usize, to: usize, payload: Payload) {
+        self.seq += 1;
+        self.stats.messages += 1;
+        self.metrics.messages += 1;
+        // Failure injection: control messages may be lost; transfers (and
+        // local timeouts) always arrive.
+        let droppable = !matches!(
+            payload,
+            Payload::Transfer { .. } | Payload::ReplyTimeout { .. }
+        );
+        if droppable
+            && self.config.control_loss > 0.0
+            && self.rng.gen_bool(self.config.control_loss)
+        {
+            self.stats.lost_messages += 1;
+            return;
+        }
+        let ev =
+            Event { time: self.now + self.config.latency, seq: self.seq, to, from, payload };
+        self.queue.push(Reverse(ev));
+    }
+
+    fn schedule_self(&mut self, to: usize, delay: u64, payload: Payload) {
+        self.seq += 1;
+        let ev = Event { time: self.now + delay, seq: self.seq, to, from: to, payload };
+        self.queue.push(Reverse(ev));
+    }
+
+    fn maybe_trigger(&mut self, i: usize) {
+        let p = &self.procs[i];
+        if p.locked {
+            return;
+        }
+        let params = &self.config.params;
+        if !(params.grow_triggered(p.load, p.l_old) || params.shrink_triggered(p.load, p.l_old)) {
+            return;
+        }
+        // Start an operation: lock, pick δ partners, request loads.
+        let n = params.n();
+        let delta = params.delta();
+        let partners: Vec<usize> = sample(&mut self.rng, n - 1, delta)
+            .iter()
+            .map(|x| if x >= i { x + 1 } else { x })
+            .collect();
+        let op = self.next_op;
+        self.next_op += 1;
+        self.procs[i].locked = true;
+        self.procs[i].op = Some(OpState {
+            id: op,
+            granted: Vec::new(),
+            awaiting_replies: partners.len(),
+            awaiting_transfers: 0,
+            pool: 0,
+            deficits: Vec::new(),
+            own_share: 0,
+        });
+        for partner in partners {
+            self.send(i, partner, Payload::LoadRequest { op });
+        }
+        if self.config.control_loss > 0.0 {
+            // Recovery timeout for the reply phase (4 one-way latencies).
+            self.schedule_self(i, 4 * self.config.latency.max(1), Payload::ReplyTimeout { op });
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev.payload {
+            Payload::LoadRequest { op } => {
+                let me = &mut self.procs[ev.to];
+                let granted = !me.locked;
+                if granted {
+                    me.locked = true;
+                    me.locked_for = Some(op);
+                }
+                let load = self.procs[ev.to].load;
+                self.send(ev.to, ev.from, Payload::LoadReply { op, granted, load });
+                if granted && self.config.control_loss > 0.0 {
+                    // Lease: self-unlock if the operation dies upstream.
+                    self.schedule_self(
+                        ev.to,
+                        8 * self.config.latency.max(1),
+                        Payload::LeaseExpiry { op },
+                    );
+                }
+            }
+            Payload::SettleTimeout { op } => {
+                let initiator = ev.to;
+                let waiting = self.procs[initiator]
+                    .op
+                    .as_ref()
+                    .is_some_and(|st| st.id == op && st.awaiting_transfers > 0);
+                if waiting {
+                    // Lost TransferOrders: the members never shipped, so
+                    // nothing is in flight from them — just write them off.
+                    self.stats.timeout_recoveries += 1;
+                    if let Some(st) = self.procs[initiator].op.as_mut() {
+                        st.awaiting_transfers = 0;
+                    }
+                    self.try_settle(initiator, op);
+                }
+            }
+            Payload::LeaseExpiry { op } => {
+                let me = &mut self.procs[ev.to];
+                if me.locked && me.locked_for == Some(op) {
+                    me.locked = false;
+                    me.locked_for = None;
+                    me.l_old = me.load;
+                    self.stats.timeout_recoveries += 1;
+                }
+            }
+            Payload::ReplyTimeout { op } => {
+                let initiator = ev.to;
+                let still_waiting = self.procs[initiator]
+                    .op
+                    .as_ref()
+                    .is_some_and(|st| st.id == op && st.awaiting_replies > 0);
+                if still_waiting {
+                    // Write off the missing replies as refusals and move on.
+                    self.stats.timeout_recoveries += 1;
+                    let mut st = self.procs[initiator].op.take().expect("checked");
+                    st.awaiting_replies = 1; // the synthetic final reply below
+                    self.procs[initiator].op = Some(st);
+                    self.handle(Event {
+                        time: ev.time,
+                        seq: ev.seq,
+                        to: initiator,
+                        from: initiator,
+                        payload: Payload::LoadReply { op, granted: false, load: 0 },
+                    });
+                }
+            }
+            Payload::LoadReply { op, granted, load } => {
+                let initiator = ev.to;
+                let stale = self.procs[initiator].op.as_ref().is_none_or(|st| st.id != op);
+                if stale {
+                    return; // reply for a finished (timed-out) operation
+                }
+                let Some(mut st) = self.procs[initiator].op.take() else {
+                    return;
+                };
+                st.awaiting_replies -= 1;
+                if granted {
+                    st.granted.push((ev.from, load));
+                }
+                if st.awaiting_replies > 0 {
+                    self.procs[initiator].op = Some(st);
+                    return;
+                }
+                if st.granted.is_empty() {
+                    // Everyone refused: abort with randomised backoff —
+                    // without it, processors with identical load histories
+                    // retrigger in lockstep and livelock forever (the
+                    // thundering-herd failure mode the atomic model hides).
+                    self.stats.aborted_ops += 1;
+                    self.finish_op(initiator);
+                    let jitter = self.rng.gen_range(0..=self.config.params.delta() as u64 + 1);
+                    self.procs[initiator].l_old += jitter;
+                    return;
+                }
+                // Compute ±1 shares over the initiator + granting members
+                // from the *reported* loads.  Every member answers with
+                // exactly one Transfer (possibly of 0 packets), so the
+                // initiator simply counts them down.
+                let own = self.procs[initiator].load;
+                let total: u64 = own + st.granted.iter().map(|&(_, l)| l).sum::<u64>();
+                let m = st.granted.len() + 1;
+                let shares = dlb_core::balance::even_shares(total, m);
+                st.own_share = shares[0];
+                st.awaiting_transfers = st.granted.len();
+                for (&(member, reported), &share) in st.granted.iter().zip(shares[1..].iter()) {
+                    self.send(initiator, member, Payload::TransferOrder { op, new_share: share });
+                    if share > reported {
+                        st.deficits.push((member, share - reported));
+                    }
+                }
+                // The initiator's own surplus goes straight into the pool.
+                if own > st.own_share {
+                    let excess = own - st.own_share;
+                    self.procs[initiator].load -= excess;
+                    st.pool += excess;
+                }
+                self.procs[initiator].op = Some(st);
+                if self.config.control_loss > 0.0 {
+                    self.schedule_self(
+                        initiator,
+                        4 * self.config.latency.max(1),
+                        Payload::SettleTimeout { op },
+                    );
+                }
+                self.try_settle(initiator, op);
+            }
+            Payload::TransferOrder { op, new_share } => {
+                // A member ships its surplus (clamped to what it actually
+                // has — its load may have changed since it reported) and
+                // unlocks immediately; a possible top-up arrives later and
+                // is accepted whether or not the member is locked.
+                let me = &mut self.procs[ev.to];
+                let excess = me.load.saturating_sub(new_share);
+                me.load -= excess;
+                me.locked = false;
+                me.locked_for = None;
+                me.l_old = me.load;
+                if excess > 0 {
+                    self.in_flight += excess;
+                    self.stats.packets_moved += excess;
+                    self.metrics.packets_migrated += excess;
+                }
+                self.send(
+                    ev.to,
+                    ev.from,
+                    Payload::Transfer { op, amount: excess, final_for_sender: true },
+                );
+            }
+            Payload::Transfer { op, amount, final_for_sender } => {
+                self.in_flight -= amount.min(self.in_flight);
+                let collecting = final_for_sender
+                    && self.procs[ev.to].op.as_ref().is_some_and(|st| st.id == op);
+                if collecting {
+                    // The initiator pools the surplus until redistribution.
+                    let st = self.procs[ev.to].op.as_mut().expect("checked above");
+                    st.pool += amount;
+                    st.awaiting_transfers = st.awaiting_transfers.saturating_sub(1);
+                    self.try_settle(ev.to, op);
+                } else {
+                    // Plain delivery (deficit top-up, or a stale transfer
+                    // for a finished op): the packets just arrive.
+                    let me = &mut self.procs[ev.to];
+                    me.load += amount;
+                    if !me.locked {
+                        me.l_old = me.load;
+                    }
+                }
+            }
+        }
+    }
+
+    /// If all surplus transfers arrived, redistribute the pool to the
+    /// deficit members and finish.
+    fn try_settle(&mut self, initiator: usize, op: u64) {
+        let Some(st) = self.procs[initiator].op.as_ref() else {
+            return;
+        };
+        if st.awaiting_replies > 0 || st.awaiting_transfers > 0 {
+            return;
+        }
+        let st = self.procs[initiator].op.take().expect("checked above");
+        let mut pool = st.pool;
+        for &(member, need) in &st.deficits {
+            let give = need.min(pool);
+            pool -= give;
+            self.in_flight += give;
+            self.stats.packets_moved += give;
+            self.metrics.packets_migrated += give;
+            self.send(initiator, member, Payload::Transfer { op, amount: give, final_for_sender: false });
+        }
+        // Anything left over (rounding, stale loads) stays local.
+        self.procs[initiator].load += pool;
+        self.stats.completed_ops += 1;
+        self.metrics.balance_ops += 1;
+        self.finish_op(initiator);
+    }
+
+    fn finish_op(&mut self, initiator: usize) {
+        let me = &mut self.procs[initiator];
+        me.op = None;
+        me.locked = false;
+        me.locked_for = None;
+        me.l_old = me.load;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::imbalance_stats;
+
+    fn config(n: usize, latency: u64) -> AsyncConfig {
+        AsyncConfig::reliable(Params::new(n, 2, 1.3, 4).unwrap(), latency, 7)
+    }
+
+    fn run_one_producer(n: usize, latency: u64, steps: u64) -> AsyncNetwork {
+        let mut net = AsyncNetwork::new(config(n, latency));
+        let mut actions = vec![0i8; n];
+        actions[0] = 1;
+        for t in 0..steps {
+            net.tick(t, &actions);
+        }
+        net.quiesce();
+        net
+    }
+
+    #[test]
+    fn conservation_with_latency() {
+        for latency in [1u64, 4, 16] {
+            let net = run_one_producer(8, latency, 2_000);
+            net.check_conservation().unwrap();
+            assert_eq!(net.in_flight(), 0, "quiesced network has nothing in flight");
+            assert_eq!(net.loads().iter().sum::<u64>(), 2_000);
+        }
+    }
+
+    #[test]
+    fn low_latency_balances_producer() {
+        let net = run_one_producer(8, 1, 4_000);
+        let stats = imbalance_stats(&net.loads());
+        assert!(stats.max_over_mean < 2.0, "{stats:?}");
+        assert!(net.stats().completed_ops > 0);
+    }
+
+    #[test]
+    fn higher_latency_degrades_quality() {
+        let fast = run_one_producer(16, 1, 4_000);
+        let slow = run_one_producer(16, 64, 4_000);
+        let fast_ratio = imbalance_stats(&fast.loads()).max_over_mean;
+        let slow_ratio = imbalance_stats(&slow.loads()).max_over_mean;
+        assert!(
+            slow_ratio >= fast_ratio,
+            "latency 64 ratio {slow_ratio} vs latency 1 ratio {fast_ratio}"
+        );
+    }
+
+    #[test]
+    fn conflicts_cause_aborts_but_no_losses() {
+        // Every processor generates every tick: triggers collide and many
+        // partners are locked, so some attempts abort.
+        let n = 8;
+        let mut net = AsyncNetwork::new(config(n, 4));
+        let actions = vec![1i8; n];
+        for t in 0..3_000 {
+            net.tick(t, &actions);
+        }
+        net.quiesce();
+        net.check_conservation().unwrap();
+        assert!(net.stats().aborted_ops > 0, "contended run should abort some ops");
+        assert!(net.stats().completed_ops > 0);
+    }
+
+    #[test]
+    fn consume_drains_without_negative_loads() {
+        let n = 6;
+        let mut net = AsyncNetwork::new(config(n, 2));
+        let mut actions = vec![1i8; n];
+        for t in 0..500 {
+            net.tick(t, &actions);
+        }
+        actions.fill(-1);
+        for t in 500..2_500 {
+            net.tick(t, &actions);
+        }
+        net.quiesce();
+        net.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn lossy_control_plane_recovers_and_conserves() {
+        // 20% of control messages vanish: timeouts must keep the protocol
+        // live and packet conservation exact.
+        let mut cfg = config(8, 4);
+        cfg.control_loss = 0.2;
+        let mut net = AsyncNetwork::new(cfg);
+        let mut actions = vec![0i8; 8];
+        actions[0] = 1;
+        actions[1] = 1;
+        for t in 0..4_000 {
+            net.tick(t, &actions);
+        }
+        net.quiesce();
+        net.check_conservation().unwrap();
+        assert_eq!(net.loads().iter().sum::<u64>(), 8_000);
+        let s = net.stats();
+        assert!(s.lost_messages > 0, "injection active");
+        assert!(s.timeout_recoveries > 0, "timeouts fired: {s:?}");
+        assert!(s.completed_ops > 0, "work still balanced: {s:?}");
+        // Liveness: every lock was eventually released.
+        assert_eq!(net.locked_count(), 0, "no processor stuck locked");
+    }
+
+    #[test]
+    fn heavy_loss_keeps_liveness() {
+        let mut cfg = config(16, 8);
+        cfg.control_loss = 0.5;
+        let mut net = AsyncNetwork::new(cfg);
+        let mut actions = vec![1i8; 16];
+        for t in 0..2_000 {
+            net.tick(t, &actions);
+        }
+        actions.fill(-1);
+        for t in 2_000..4_000 {
+            net.tick(t, &actions);
+        }
+        net.quiesce();
+        net.check_conservation().unwrap();
+        assert_eq!(net.locked_count(), 0, "all locks released despite 50% loss");
+    }
+
+    #[test]
+    fn lossless_config_never_times_out() {
+        let net = run_one_producer(8, 2, 1_000);
+        assert_eq!(net.stats().lost_messages, 0);
+        assert_eq!(net.stats().timeout_recoveries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must not run backwards")]
+    fn time_is_monotone() {
+        let mut net = AsyncNetwork::new(config(4, 1));
+        net.tick(5, &[0, 0, 0, 0]);
+        net.tick(4, &[0, 0, 0, 0]);
+    }
+}

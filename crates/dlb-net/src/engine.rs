@@ -1,0 +1,307 @@
+//! Topology-aware balancing and communication accounting.
+//!
+//! [`TopoCluster`] runs the practical SPAA'93 balancer on an explicit
+//! [`Topology`], in one of two partner modes:
+//!
+//! * [`PartnerMode::GlobalRandom`] — the paper's analyzed model: partners
+//!   drawn uniformly from the whole network; packets pay the real hop
+//!   distance (which the paper's constant-cost assumption waves away, and
+//!   this engine measures);
+//! * [`PartnerMode::Neighbors`] — partners drawn from the initiator's
+//!   topology neighbours only (the locality variant the paper names as
+//!   further research).
+//!
+//! Communication is accounted by greedily matching surplus to deficit
+//! members of each balance group and weighting every moved packet by the
+//! hop distance it travels.
+
+use crate::topology::Topology;
+use dlb_core::balance::even_shares;
+use dlb_core::{LoadBalancer, LoadEvent, Metrics, Params};
+use rand::prelude::*;
+use rand::seq::index::sample;
+use rand_chacha::ChaCha8Rng;
+
+/// How balance partners are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartnerMode {
+    /// Uniformly from all other processors (the paper's model).
+    GlobalRandom,
+    /// Uniformly from the initiator's topology neighbours.
+    Neighbors,
+}
+
+/// Hop-weighted communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Balancing operations performed.
+    pub ops: u64,
+    /// Packets moved, each counted once.
+    pub packets: u64,
+    /// Packets × hop distance travelled.
+    pub packet_hops: u64,
+    /// Control messages × hop distance (one round trip per partner).
+    pub control_hops: u64,
+}
+
+/// The practical balancer on an explicit topology with communication
+/// accounting.
+pub struct TopoCluster {
+    params: Params,
+    topology: Topology,
+    mode: PartnerMode,
+    loads: Vec<u64>,
+    l_old: Vec<u64>,
+    rng: ChaCha8Rng,
+    metrics: Metrics,
+    comm: CommStats,
+    /// All-pairs hop distances, precomputed once.
+    dist: Vec<Vec<u32>>,
+}
+
+impl TopoCluster {
+    /// Creates the balancer; `params.n()` must equal the topology size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a size mismatch or a disconnected topology.
+    pub fn new(params: Params, topology: Topology, mode: PartnerMode, seed: u64) -> Self {
+        assert_eq!(params.n(), topology.n(), "params/topology size mismatch");
+        assert!(topology.is_connected(), "topology must be connected");
+        let n = topology.n();
+        let dist = (0..n).map(|v| topology.distances_from(v)).collect();
+        TopoCluster {
+            params,
+            topology,
+            mode,
+            loads: vec![0; n],
+            l_old: vec![0; n],
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            comm: CommStats::default(),
+            dist,
+        }
+    }
+
+    /// Communication counters.
+    pub fn comm(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Hop distance between two processors (precomputed).
+    pub fn distance(&self, a: usize, b: usize) -> u32 {
+        self.dist[a][b]
+    }
+
+    fn partners(&mut self, initiator: usize) -> Vec<usize> {
+        let delta = self.params.delta();
+        match self.mode {
+            PartnerMode::GlobalRandom => {
+                let n = self.params.n();
+                sample(&mut self.rng, n - 1, delta)
+                    .iter()
+                    .map(|x| if x >= initiator { x + 1 } else { x })
+                    .collect()
+            }
+            PartnerMode::Neighbors => {
+                let nbrs = self.topology.neighbors(initiator);
+                if nbrs.len() <= delta {
+                    nbrs
+                } else {
+                    sample(&mut self.rng, nbrs.len(), delta).iter().map(|i| nbrs[i]).collect()
+                }
+            }
+        }
+    }
+
+    fn trigger_check(&mut self, i: usize) {
+        let (cur, last) = (self.loads[i], self.l_old[i]);
+        if self.params.grow_triggered(cur, last) || self.params.shrink_triggered(cur, last) {
+            self.full_balance(i);
+        }
+    }
+
+    fn full_balance(&mut self, initiator: usize) {
+        self.metrics.balance_ops += 1;
+        self.comm.ops += 1;
+        let mut members = vec![initiator];
+        members.extend(self.partners(initiator));
+        self.metrics.messages += members.len() as u64;
+        for &m in &members[1..] {
+            self.comm.control_hops += 2 * self.dist[initiator][m] as u64;
+        }
+        let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
+        let shares = even_shares(total, members.len());
+
+        // Surplus -> deficit greedy matching for hop accounting.
+        let mut surplus: Vec<(usize, u64)> = Vec::new();
+        let mut deficit: Vec<(usize, u64)> = Vec::new();
+        for (&m, &share) in members.iter().zip(shares.iter()) {
+            if self.loads[m] > share {
+                surplus.push((m, self.loads[m] - share));
+            } else if share > self.loads[m] {
+                deficit.push((m, share - self.loads[m]));
+            }
+        }
+        let mut di = 0usize;
+        for (from, mut excess) in surplus {
+            while excess > 0 && di < deficit.len() {
+                let (to, need) = deficit[di];
+                let x = excess.min(need);
+                self.comm.packets += x;
+                self.comm.packet_hops += x * self.dist[from][to] as u64;
+                self.metrics.packets_migrated += x;
+                excess -= x;
+                if need == x {
+                    di += 1;
+                } else {
+                    deficit[di].1 = need - x;
+                }
+            }
+        }
+        for (&m, &share) in members.iter().zip(shares.iter()) {
+            self.loads[m] = share;
+            self.l_old[m] = share;
+        }
+    }
+}
+
+impl LoadBalancer for TopoCluster {
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn loads(&self) -> Vec<u64> {
+        self.loads.clone()
+    }
+
+    fn step(&mut self, events: &[LoadEvent]) {
+        assert_eq!(events.len(), self.params.n(), "one event per processor");
+        for (i, &ev) in events.iter().enumerate() {
+            match ev {
+                LoadEvent::Generate => {
+                    self.loads[i] += 1;
+                    self.metrics.generated += 1;
+                    self.trigger_check(i);
+                }
+                LoadEvent::Consume => {
+                    if self.loads[i] > 0 {
+                        self.loads[i] -= 1;
+                        self.metrics.consumed += 1;
+                        self.trigger_check(i);
+                    } else {
+                        self.metrics.consume_blocked += 1;
+                    }
+                }
+                LoadEvent::Idle => {}
+            }
+        }
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            PartnerMode::GlobalRandom => "spaa93-topo-global",
+            PartnerMode::Neighbors => "spaa93-topo-neighbors",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::imbalance_stats;
+
+    fn run_gen(mut cluster: TopoCluster, steps: usize) -> TopoCluster {
+        let events = vec![LoadEvent::Generate; cluster.n()];
+        for _ in 0..steps {
+            cluster.step(&events);
+        }
+        cluster
+    }
+
+    #[test]
+    fn complete_graph_packets_travel_one_hop() {
+        let params = Params::paper_section7(8);
+        let topo = Topology::Complete { n: 8 };
+        let c = run_gen(TopoCluster::new(params, topo, PartnerMode::GlobalRandom, 1), 200);
+        assert_eq!(c.comm().packet_hops, c.comm().packets, "all distances are 1");
+        assert!(c.comm().ops > 0);
+    }
+
+    fn run_one_producer(mut cluster: TopoCluster, steps: usize) -> TopoCluster {
+        let mut events = vec![LoadEvent::Idle; cluster.n()];
+        events[0] = LoadEvent::Generate;
+        for _ in 0..steps {
+            cluster.step(&events);
+        }
+        cluster
+    }
+
+    #[test]
+    fn ring_global_pays_more_hops_than_neighbors() {
+        let params = Params::new(16, 1, 1.1, 4).unwrap();
+        let topo = Topology::Ring { n: 16 };
+        let global = run_one_producer(
+            TopoCluster::new(params, topo.clone(), PartnerMode::GlobalRandom, 2),
+            400,
+        );
+        let local =
+            run_one_producer(TopoCluster::new(params, topo, PartnerMode::Neighbors, 2), 400);
+        let g_per_packet = global.comm().packet_hops as f64 / global.comm().packets.max(1) as f64;
+        let l_per_packet = local.comm().packet_hops as f64 / local.comm().packets.max(1) as f64;
+        assert!(
+            g_per_packet > l_per_packet,
+            "global {g_per_packet} hops/packet vs neighbour {l_per_packet}"
+        );
+        assert!((l_per_packet - 1.0).abs() < 1e-9, "neighbour packets travel 1 hop");
+    }
+
+    #[test]
+    fn both_modes_balance_a_producer() {
+        // Locality tradeoff: neighbour-only balancing spreads work
+        // diffusively (slower, cheaper links), global random spreads fast.
+        let params = Params::new(16, 2, 1.3, 4).unwrap();
+        for (mode, bound) in
+            [(PartnerMode::GlobalRandom, 3.0), (PartnerMode::Neighbors, 10.0)]
+        {
+            let topo = Topology::Torus2D { w: 4, h: 4 };
+            let cluster = run_one_producer(TopoCluster::new(params, topo, mode, 3), 3000);
+            let stats = imbalance_stats(&cluster.loads());
+            assert_eq!(stats.mean * 16.0, 3000.0);
+            assert!(stats.max_over_mean < bound, "{mode:?}: {stats:?}");
+            assert!(stats.max < 3000, "{mode:?} must shed load");
+        }
+    }
+
+    #[test]
+    fn conservation_under_mixed_events() {
+        let params = Params::paper_section7(9);
+        let topo = Topology::Torus2D { w: 3, h: 3 };
+        let mut cluster = TopoCluster::new(params, topo, PartnerMode::Neighbors, 5);
+        let events: Vec<LoadEvent> = (0..9)
+            .map(|i| if i % 2 == 0 { LoadEvent::Generate } else { LoadEvent::Consume })
+            .collect();
+        for _ in 0..500 {
+            cluster.step(&events);
+        }
+        let total: u64 = cluster.loads().iter().sum();
+        let m = cluster.metrics();
+        assert_eq!(total, m.generated - m.consumed);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_rejected() {
+        let params = Params::paper_section7(8);
+        TopoCluster::new(params, Topology::Ring { n: 9 }, PartnerMode::GlobalRandom, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Substrate for the SPAA'93 reproduction: the "parallel machine" the
+//! algorithm runs on.
+//!
+//! The paper assumes a distributed-memory processor network in which a
+//! balancing operation costs constant time (arguing that wormhole routing
+//! makes transfer distance negligible).  This crate supplies that machine
+//! in three forms:
+//!
+//! * [`topology`] — interconnect graphs (complete, ring, 2-D torus,
+//!   hypercube, de Bruijn, star, circulant) with hop-distance queries, so
+//!   the communication the paper argues away can actually be *measured*;
+//! * [`engine`] — a topology-aware balancer and synchronous simulation
+//!   engine with hop-weighted communication accounting, including the
+//!   "balance with topology neighbours only" mode the paper lists as
+//!   future work (locality);
+//! * [`runtime`] — a real threaded message-passing runtime: one OS thread
+//!   per processor, work packets in per-worker queues, balancing by the
+//!   paper's trigger rule, used by the branch-and-bound example;
+//! * [`rng`] — deterministic per-entity ChaCha streams.
+
+pub mod desim;
+pub mod engine;
+pub mod rng;
+pub mod runtime;
+pub mod topology;
+
+pub use desim::{AsyncConfig, AsyncNetwork, AsyncStats};
+pub use engine::{CommStats, PartnerMode, TopoCluster};
+pub use runtime::{RuntimeConfig, RuntimeStats, ThreadedRuntime};
+pub use topology::Topology;

@@ -1,0 +1,323 @@
+//! Interconnect topologies.
+//!
+//! The SPAA'93 algorithm itself is topology-oblivious (partners are drawn
+//! globally at random), but its *communication cost* is not: a packet
+//! moved between processors traverses `distance(a, b)` links.  These
+//! graphs let the experiments measure the traffic the paper's constant-
+//! cost assumption hides, and support the locality mode of
+//! [`crate::engine::TopoCluster`].
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// An undirected interconnect on processors `0 .. n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair connected (distance ≤ 1).
+    Complete { n: usize },
+    /// A cycle.
+    Ring { n: usize },
+    /// A `w × h` torus (wrap-around grid); processor `i` sits at
+    /// `(i % w, i / w)`.
+    Torus2D { w: usize, h: usize },
+    /// A `dim`-dimensional hypercube on `2^dim` processors.
+    Hypercube { dim: u32 },
+    /// The binary de Bruijn graph on `2^dim` processors: `v` is adjacent
+    /// to `2v mod n`, `2v+1 mod n` and their inverses (the network of the
+    /// paper's own parallel machine [13] uses de Bruijn-like shuffles).
+    DeBruijn { dim: u32 },
+    /// A star: processor 0 is the centre (the pathological centralised
+    /// case §1 argues against).
+    Star { n: usize },
+    /// A circulant graph: `i` adjacent to `i ± o (mod n)` for each offset
+    /// `o` (a deterministic stand-in for random regular graphs).
+    Circulant { n: usize, offsets: Vec<usize> },
+    /// A `w × h` grid *without* wrap-around (boundary effects included).
+    Grid2D { w: usize, h: usize },
+    /// A complete binary tree on `2^(depth+1) − 1` processors, root 0,
+    /// children of `v` at `2v+1` and `2v+2`.
+    BinaryTree { depth: u32 },
+}
+
+impl Topology {
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        match *self {
+            Topology::Complete { n } | Topology::Ring { n } | Topology::Star { n } => n,
+            Topology::Torus2D { w, h } | Topology::Grid2D { w, h } => w * h,
+            Topology::Hypercube { dim } | Topology::DeBruijn { dim } => 1usize << dim,
+            Topology::Circulant { n, .. } => n,
+            Topology::BinaryTree { depth } => (1usize << (depth + 1)) - 1,
+        }
+    }
+
+    /// Neighbours of `v` (no self-loops, deduplicated, sorted).
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        let n = self.n();
+        assert!(v < n, "vertex {v} out of range (n = {n})");
+        let mut out: Vec<usize> = match *self {
+            Topology::Complete { n } => (0..n).filter(|&u| u != v).collect(),
+            Topology::Ring { n } => {
+                if n <= 1 {
+                    vec![]
+                } else {
+                    vec![(v + 1) % n, (v + n - 1) % n]
+                }
+            }
+            Topology::Torus2D { w, h } => {
+                let (x, y) = (v % w, v / w);
+                vec![
+                    (x + 1) % w + y * w,
+                    (x + w - 1) % w + y * w,
+                    x + ((y + 1) % h) * w,
+                    x + ((y + h - 1) % h) * w,
+                ]
+            }
+            Topology::Hypercube { dim } => (0..dim).map(|b| v ^ (1 << b)).collect(),
+            Topology::DeBruijn { dim } => {
+                let n = 1usize << dim;
+                vec![(2 * v) % n, (2 * v + 1) % n, v >> 1, (v >> 1) | (n >> 1)]
+            }
+            Topology::Star { n } => {
+                if v == 0 {
+                    (1..n).collect()
+                } else {
+                    vec![0]
+                }
+            }
+            Topology::Circulant { n, ref offsets } => offsets
+                .iter()
+                .flat_map(|&o| [(v + o) % n, (v + n - o % n) % n])
+                .collect(),
+            Topology::Grid2D { w, h } => {
+                let (x, y) = (v % w, v / w);
+                let mut out = Vec::with_capacity(4);
+                if x + 1 < w {
+                    out.push(v + 1);
+                }
+                if x > 0 {
+                    out.push(v - 1);
+                }
+                if y + 1 < h {
+                    out.push(v + w);
+                }
+                if y > 0 {
+                    out.push(v - w);
+                }
+                out
+            }
+            Topology::BinaryTree { .. } => {
+                let mut out = Vec::with_capacity(3);
+                if v > 0 {
+                    out.push((v - 1) / 2);
+                }
+                for child in [2 * v + 1, 2 * v + 2] {
+                    if child < n {
+                        out.push(child);
+                    }
+                }
+                out
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&u| u != v);
+        out
+    }
+
+    /// BFS hop distances from `src` to every vertex (`u32::MAX` if
+    /// unreachable).
+    pub fn distances_from(&self, src: usize) -> Vec<u32> {
+        let n = self.n();
+        let mut dist = vec![u32::MAX; n];
+        dist[src] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(v) = queue.pop_front() {
+            for u in self.neighbors(v) {
+                if dist[u] == u32::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between two vertices.
+    pub fn distance(&self, a: usize, b: usize) -> u32 {
+        self.distances_from(a)[b]
+    }
+
+    /// Largest finite hop distance in the graph.
+    pub fn diameter(&self) -> u32 {
+        (0..self.n())
+            .map(|v| {
+                self.distances_from(v)
+                    .into_iter()
+                    .filter(|&d| d != u32::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean hop distance over ordered distinct pairs.
+    pub fn mean_distance(&self) -> f64 {
+        let n = self.n();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for v in 0..n {
+            for (u, &d) in self.distances_from(v).iter().enumerate() {
+                if u != v && d != u32::MAX {
+                    sum += d as u64;
+                    count += 1;
+                }
+            }
+        }
+        sum as f64 / count as f64
+    }
+
+    /// True if every vertex can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.n() == 0 || self.distances_from(0).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// A uniformly random connected circulant with `k` offsets, as a
+    /// deterministic substitute for random regular graphs.  `k` is capped
+    /// at the number of distinct offsets available (`⌊n/2⌋`).
+    pub fn random_circulant(n: usize, k: usize, seed: u64) -> Topology {
+        assert!(n >= 3, "need at least 3 vertices");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Offset 1 guarantees connectivity; the rest are random among the
+        // distinct offsets 2..=n/2.
+        let k = k.clamp(1, n / 2);
+        let mut offsets = vec![1usize];
+        while offsets.len() < k {
+            let o = rng.gen_range(2..=n / 2);
+            if !offsets.contains(&o) {
+                offsets.push(o);
+            }
+        }
+        Topology::Circulant { n, offsets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_distances() {
+        let t = Topology::Complete { n: 8 };
+        assert_eq!(t.n(), 8);
+        assert_eq!(t.neighbors(3).len(), 7);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn ring_distances() {
+        let t = Topology::Ring { n: 10 };
+        assert_eq!(t.distance(0, 5), 5);
+        assert_eq!(t.distance(0, 7), 3, "wraps the short way");
+        assert_eq!(t.diameter(), 5);
+    }
+
+    #[test]
+    fn torus_neighbors_and_diameter() {
+        let t = Topology::Torus2D { w: 4, h: 4 };
+        assert_eq!(t.n(), 16);
+        assert_eq!(t.neighbors(0), vec![1, 3, 4, 12]);
+        assert_eq!(t.diameter(), 4); // 2 + 2
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = Topology::Hypercube { dim: 4 };
+        assert_eq!(t.n(), 16);
+        assert_eq!(t.neighbors(0), vec![1, 2, 4, 8]);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.distance(0b0000, 0b1111), 4);
+    }
+
+    #[test]
+    fn debruijn_logarithmic_diameter() {
+        let t = Topology::DeBruijn { dim: 6 };
+        assert_eq!(t.n(), 64);
+        assert!(t.is_connected());
+        assert!(t.diameter() <= 6, "diameter {} should be <= dim", t.diameter());
+    }
+
+    #[test]
+    fn star_routes_through_center() {
+        let t = Topology::Star { n: 6 };
+        assert_eq!(t.distance(1, 2), 2);
+        assert_eq!(t.distance(0, 5), 1);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn circulant_connected_and_symmetric() {
+        let t = Topology::random_circulant(33, 3, 7);
+        assert!(t.is_connected());
+        for v in 0..33 {
+            for u in t.neighbors(v) {
+                assert!(t.neighbors(u).contains(&v), "undirected: {u} <-> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_topologies_connected() {
+        let topos = [
+            Topology::Complete { n: 9 },
+            Topology::Ring { n: 9 },
+            Topology::Torus2D { w: 3, h: 3 },
+            Topology::Hypercube { dim: 3 },
+            Topology::DeBruijn { dim: 3 },
+            Topology::Star { n: 9 },
+            Topology::random_circulant(9, 2, 1),
+        ];
+        for t in topos {
+            assert!(t.is_connected(), "{t:?}");
+            assert_eq!(t.n(), if matches!(t, Topology::Hypercube { .. } | Topology::DeBruijn { .. }) { 8 } else { 9 });
+        }
+    }
+
+    #[test]
+    fn grid_has_no_wraparound() {
+        let t = Topology::Grid2D { w: 4, h: 3 };
+        assert_eq!(t.n(), 12);
+        assert_eq!(t.neighbors(0), vec![1, 4], "corner has two neighbours");
+        assert_eq!(t.distance(0, 3), 3, "no wrap along the row");
+        let torus = Topology::Torus2D { w: 4, h: 3 };
+        assert!(t.diameter() > torus.diameter(), "grid diameter exceeds torus");
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let t = Topology::BinaryTree { depth: 3 };
+        assert_eq!(t.n(), 15);
+        assert_eq!(t.neighbors(0), vec![1, 2], "root");
+        assert_eq!(t.neighbors(3), vec![1, 7, 8], "internal node");
+        assert_eq!(t.neighbors(14), vec![6], "leaf");
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 6, "leaf to leaf through the root");
+    }
+
+    #[test]
+    fn mean_distance_reasonable() {
+        let ring = Topology::Ring { n: 16 };
+        let hyper = Topology::Hypercube { dim: 4 };
+        assert!(ring.mean_distance() > hyper.mean_distance());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighbors_validates_vertex() {
+        Topology::Ring { n: 4 }.neighbors(4);
+    }
+}

@@ -1,0 +1,308 @@
+//! Elementary load patterns: the §3 one-producer models, random mixes,
+//! bursts, moving hotspots and adversarial producer/consumer splits.
+
+use crate::Workload;
+use dlb_core::LoadEvent;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// §3's one-processor-generator model: a single processor generates every
+/// step, everyone else is idle.
+#[derive(Debug, Clone)]
+pub struct OneProducer {
+    n: usize,
+    producer: usize,
+}
+
+impl OneProducer {
+    /// A producer at index `producer` in a network of `n`.
+    pub fn new(n: usize, producer: usize) -> Self {
+        assert!(producer < n, "producer index out of range");
+        OneProducer { n, producer }
+    }
+}
+
+impl Workload for OneProducer {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn events_at(&mut self, _t: usize, out: &mut Vec<LoadEvent>) {
+        out.clear();
+        out.resize(self.n, LoadEvent::Idle);
+        out[self.producer] = LoadEvent::Generate;
+    }
+}
+
+/// Independent per-processor coin flips: generate with probability
+/// `p_gen`, consume with probability `p_con`, otherwise idle.
+#[derive(Debug, Clone)]
+pub struct UniformRandom {
+    n: usize,
+    p_gen: f64,
+    p_con: f64,
+    rng: ChaCha8Rng,
+}
+
+impl UniformRandom {
+    /// `p_gen + p_con` must not exceed 1.
+    pub fn new(n: usize, p_gen: f64, p_con: f64, seed: u64) -> Self {
+        assert!(p_gen >= 0.0 && p_con >= 0.0 && p_gen + p_con <= 1.0, "invalid probabilities");
+        UniformRandom { n, p_gen, p_con, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Workload for UniformRandom {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn events_at(&mut self, _t: usize, out: &mut Vec<LoadEvent>) {
+        out.clear();
+        for _ in 0..self.n {
+            let x: f64 = self.rng.gen();
+            out.push(if x < self.p_gen {
+                LoadEvent::Generate
+            } else if x < self.p_gen + self.p_con {
+                LoadEvent::Consume
+            } else {
+                LoadEvent::Idle
+            });
+        }
+    }
+}
+
+/// Alternating global phases: `burst_len` steps where every processor
+/// generates with probability `p_gen`, then `quiet_len` steps where every
+/// processor consumes with probability `p_con`.
+#[derive(Debug, Clone)]
+pub struct Bursty {
+    n: usize,
+    burst_len: usize,
+    quiet_len: usize,
+    p_gen: f64,
+    p_con: f64,
+    rng: ChaCha8Rng,
+}
+
+impl Bursty {
+    /// Alternating burst/quiet phases.
+    pub fn new(n: usize, burst_len: usize, quiet_len: usize, p_gen: f64, p_con: f64, seed: u64) -> Self {
+        assert!(burst_len > 0 && quiet_len > 0, "phase lengths must be positive");
+        Bursty { n, burst_len, quiet_len, p_gen, p_con, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    fn bursting(&self, t: usize) -> bool {
+        t % (self.burst_len + self.quiet_len) < self.burst_len
+    }
+}
+
+impl Workload for Bursty {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn events_at(&mut self, t: usize, out: &mut Vec<LoadEvent>) {
+        out.clear();
+        let bursting = self.bursting(t);
+        for _ in 0..self.n {
+            let x: f64 = self.rng.gen();
+            out.push(if bursting && x < self.p_gen {
+                LoadEvent::Generate
+            } else if !bursting && x < self.p_con {
+                LoadEvent::Consume
+            } else {
+                LoadEvent::Idle
+            });
+        }
+    }
+}
+
+/// A moving hotspot: one processor generates every step while all others
+/// consume with probability `p_con`; the hotspot advances to the next
+/// processor every `period` steps.  Stresses the adaptivity claim of §1.
+#[derive(Debug, Clone)]
+pub struct MovingHotspot {
+    n: usize,
+    period: usize,
+    p_con: f64,
+    rng: ChaCha8Rng,
+}
+
+impl MovingHotspot {
+    /// Hotspot advancing every `period > 0` steps.
+    pub fn new(n: usize, period: usize, p_con: f64, seed: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        MovingHotspot { n, period, p_con, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Which processor is hot at step `t`.
+    pub fn hotspot_at(&self, t: usize) -> usize {
+        (t / self.period) % self.n
+    }
+}
+
+impl Workload for MovingHotspot {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn events_at(&mut self, t: usize, out: &mut Vec<LoadEvent>) {
+        out.clear();
+        let hot = self.hotspot_at(t);
+        for i in 0..self.n {
+            out.push(if i == hot {
+                LoadEvent::Generate
+            } else if self.rng.gen_bool(self.p_con) {
+                LoadEvent::Consume
+            } else {
+                LoadEvent::Idle
+            });
+        }
+    }
+}
+
+/// Adversarial producer/consumer split: the first half generates, the
+/// second half consumes, with roles swapping every `swap_every` steps
+/// (maximally inhomogeneous, and the load pattern the borrow machinery of
+/// §4 exists for).
+#[derive(Debug, Clone)]
+pub struct ProducerConsumerSplit {
+    n: usize,
+    swap_every: usize,
+}
+
+impl ProducerConsumerSplit {
+    /// Roles swap every `swap_every > 0` steps.
+    pub fn new(n: usize, swap_every: usize) -> Self {
+        assert!(swap_every > 0, "swap period must be positive");
+        ProducerConsumerSplit { n, swap_every }
+    }
+}
+
+impl Workload for ProducerConsumerSplit {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn events_at(&mut self, t: usize, out: &mut Vec<LoadEvent>) {
+        out.clear();
+        let swapped = (t / self.swap_every) % 2 == 1;
+        for i in 0..self.n {
+            let first_half = i < self.n / 2;
+            out.push(if first_half != swapped { LoadEvent::Generate } else { LoadEvent::Consume });
+        }
+    }
+}
+
+/// No activity at all (for cost baselines: a correct balancer must not
+/// perform any operations on a silent network).
+#[derive(Debug, Clone)]
+pub struct Silent {
+    n: usize,
+}
+
+impl Silent {
+    /// A silent workload for `n` processors.
+    pub fn new(n: usize) -> Self {
+        Silent { n }
+    }
+}
+
+impl Workload for Silent {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn events_at(&mut self, _t: usize, out: &mut Vec<LoadEvent>) {
+        out.clear();
+        out.resize(self.n, LoadEvent::Idle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(w: &mut impl Workload, steps: usize) -> Vec<Vec<LoadEvent>> {
+        let mut all = Vec::new();
+        let mut out = Vec::new();
+        for t in 0..steps {
+            w.events_at(t, &mut out);
+            assert_eq!(out.len(), w.n());
+            all.push(out.clone());
+        }
+        all
+    }
+
+    #[test]
+    fn one_producer_only_produces_at_index() {
+        let mut w = OneProducer::new(5, 2);
+        for row in collect(&mut w, 10) {
+            for (i, &e) in row.iter().enumerate() {
+                if i == 2 {
+                    assert_eq!(e, LoadEvent::Generate);
+                } else {
+                    assert_eq!(e, LoadEvent::Idle);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_producer_validates_index() {
+        OneProducer::new(3, 3);
+    }
+
+    #[test]
+    fn uniform_random_rates() {
+        let mut w = UniformRandom::new(1, 0.3, 0.5, 11);
+        let rows = collect(&mut w, 20_000);
+        let gens = rows.iter().filter(|r| r[0] == LoadEvent::Generate).count();
+        let cons = rows.iter().filter(|r| r[0] == LoadEvent::Consume).count();
+        assert!((gens as f64 / 20_000.0 - 0.3).abs() < 0.02);
+        assert!((cons as f64 / 20_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probabilities")]
+    fn uniform_random_validates_probabilities() {
+        UniformRandom::new(4, 0.7, 0.7, 0);
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let mut w = Bursty::new(2, 5, 5, 1.0, 1.0, 1);
+        let rows = collect(&mut w, 20);
+        assert!(rows[0].iter().all(|&e| e == LoadEvent::Generate));
+        assert!(rows[5].iter().all(|&e| e == LoadEvent::Consume));
+        assert!(rows[10].iter().all(|&e| e == LoadEvent::Generate));
+    }
+
+    #[test]
+    fn hotspot_moves() {
+        let w = MovingHotspot::new(4, 10, 0.0, 2);
+        assert_eq!(w.hotspot_at(0), 0);
+        assert_eq!(w.hotspot_at(9), 0);
+        assert_eq!(w.hotspot_at(10), 1);
+        assert_eq!(w.hotspot_at(39), 3);
+        assert_eq!(w.hotspot_at(40), 0, "wraps around");
+    }
+
+    #[test]
+    fn split_swaps_roles() {
+        let mut w = ProducerConsumerSplit::new(4, 3);
+        let rows = collect(&mut w, 6);
+        assert_eq!(rows[0], vec![LoadEvent::Generate, LoadEvent::Generate, LoadEvent::Consume, LoadEvent::Consume]);
+        assert_eq!(rows[3], vec![LoadEvent::Consume, LoadEvent::Consume, LoadEvent::Generate, LoadEvent::Generate]);
+    }
+
+    #[test]
+    fn silent_is_all_idle() {
+        let mut w = Silent::new(3);
+        for row in collect(&mut w, 5) {
+            assert!(row.iter().all(|&e| e == LoadEvent::Idle));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Best-first branch & bound for the symmetric TSP on the threaded
+//! runtime — the application family the SPAA'93 algorithm was built for
+//! ([7], [8]: "Efficient Parallelization of a Branch & Bound Algorithm
+//! for the Symmetric Traveling Salesman Problem").
+//!
+//! Subproblems (partial tours) are the load packets; the runtime keeps
+//! every worker's pool balanced with the paper's trigger rule.  The
+//! result is verified against an exact Held–Karp dynamic program.
+//!
+//!     cargo run --release --example branch_and_bound [n_cities] [workers]
+
+use dlb::bnb::tsp::{Tsp, SCALE};
+use dlb::bnb::Solver;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|a| a.parse().expect("n_cities")).unwrap_or(13);
+    let workers: usize = args.next().map(|a| a.parse().expect("workers")).unwrap_or(8);
+    assert!((2..=20).contains(&n), "n_cities in 2..=20");
+
+    let tsp = Tsp::random(n, 12345);
+    let solver = Solver::with_workers(workers);
+
+    let start = std::time::Instant::now();
+    let outcome = solver.solve(&tsp);
+    let elapsed = start.elapsed();
+
+    let found = outcome.best_value.expect("a tour always exists");
+    let optimal = tsp.optimum_by_held_karp();
+    println!("TSP with {n} cities on {workers} workers");
+    println!("optimal tour (Held-Karp verification): {:.3}", optimal as f64 / SCALE);
+    println!("B&B found:                             {:.3}", found as f64 / SCALE);
+    assert_eq!(found, optimal, "branch & bound must find the optimum");
+
+    println!("\nnodes expanded: {}", outcome.expanded);
+    println!("nodes pruned:   {}", outcome.pruned);
+    println!("balancing ops:  {}", outcome.runtime.balance_ops);
+    println!("packets moved:  {}", outcome.runtime.packets_moved);
+    println!("per-worker expansions: {:?}", outcome.runtime.processed);
+    println!("work imbalance (max/mean): {:.3}", outcome.work_imbalance());
+    println!("wall time: {elapsed:?}");
+}

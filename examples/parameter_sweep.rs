@@ -1,0 +1,81 @@
+//! The paper's central tradeoff, measured: balancing quality versus cost
+//! across the algorithm parameters `f` (trigger factor), `δ`
+//! (neighbourhood size) and `C` (borrow limit).
+//!
+//!     cargo run --release --example parameter_sweep
+
+use dlb::core::{imbalance_stats, Cluster, LoadBalancer, Params};
+use dlb::workload::phase::{PhaseConfig, PhaseWorkload};
+use dlb::workload::drive;
+
+struct Outcome {
+    ratio: f64,
+    ops: u64,
+    migrated: u64,
+    remote_borrow: u64,
+}
+
+fn run(params: Params, runs: u64) -> Outcome {
+    let mut ratio = 0.0;
+    let mut samples = 0usize;
+    let mut ops = 0;
+    let mut migrated = 0;
+    let mut remote = 0;
+    for r in 0..runs {
+        let mut cluster = Cluster::new(params, 1000 + r);
+        let mut workload = PhaseWorkload::new(params.n(), 500, PhaseConfig::paper_section7(), 2000 + r);
+        drive(&mut cluster, &mut workload, 500, |t, c| {
+            if t >= 100 && t % 20 == 0 {
+                let stats = imbalance_stats(&c.loads());
+                if stats.mean >= 5.0 {
+                    ratio += stats.max_over_mean;
+                    samples += 1;
+                }
+            }
+        });
+        let m = cluster.metrics();
+        ops += m.balance_ops;
+        migrated += m.packets_migrated;
+        remote += m.remote_borrow;
+    }
+    Outcome {
+        ratio: ratio / samples.max(1) as f64,
+        ops: ops / runs,
+        migrated: migrated / runs,
+        remote_borrow: remote / runs,
+    }
+}
+
+fn main() {
+    let n = 32;
+    let runs = 10;
+    println!("parameter sweep on {n} processors, 500 steps, {runs} runs each\n");
+    println!(
+        "{:>6} {:>6} {:>4}  {:>9} {:>9} {:>10} {:>13}",
+        "f", "delta", "C", "max/mean", "ops/run", "moved/run", "remote-borrow"
+    );
+    for f in [1.1, 1.4, 1.8] {
+        for delta in [1usize, 2, 4] {
+            if f >= delta as f64 + 1.0 {
+                continue;
+            }
+            let params = Params::new(n, delta, f, 4).expect("valid");
+            let o = run(params, runs);
+            println!(
+                "{f:>6.1} {delta:>6} {:>4}  {:>9.3} {:>9} {:>10} {:>13}",
+                4, o.ratio, o.ops, o.migrated, o.remote_borrow
+            );
+        }
+    }
+    println!();
+    for c in [2usize, 4, 16] {
+        let params = Params::new(n, 1, 1.1, c).expect("valid");
+        let o = run(params, runs);
+        println!(
+            "{:>6.1} {:>6} {c:>4}  {:>9.3} {:>9} {:>10} {:>13}",
+            1.1, 1, o.ratio, o.ops, o.migrated, o.remote_borrow
+        );
+    }
+    println!("\nreading guide: smaller f / larger delta -> tighter balance, more ops;");
+    println!("larger C -> fewer remote borrow operations at slightly looser balance.");
+}
