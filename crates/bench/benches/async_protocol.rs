@@ -14,8 +14,9 @@ fn run(n: usize, latency: u64, loss: f64, ticks: u64) -> AsyncNetwork {
     let mut net = AsyncNetwork::new(cfg);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     for t in 0..ticks {
-        let actions: Vec<i8> =
-            (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        let actions: Vec<i8> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect();
         net.tick(t, &actions);
     }
     net.quiesce();

@@ -18,7 +18,11 @@ fn bench_distribute(c: &mut Criterion) {
             |b, (totals, members)| {
                 b.iter(|| {
                     let mut running = vec![0u64; *members];
-                    black_box(distribute_classes(black_box(totals), *members, &mut running))
+                    black_box(distribute_classes(
+                        black_box(totals),
+                        *members,
+                        &mut running,
+                    ))
                 })
             },
         );

@@ -27,7 +27,10 @@ fn bench_baselines(c: &mut Criterion) {
     });
     group.bench_function("gradient", |b| {
         b.iter(|| {
-            run_on_trace(&mut Gradient::new(Topology::Torus2D { w: 8, h: 8 }, 2, 8), &trace)
+            run_on_trace(
+                &mut Gradient::new(Topology::Torus2D { w: 8, h: 8 }, 2, 8),
+                &trace,
+            )
         })
     });
     group.bench_function("no_balance", |b| {

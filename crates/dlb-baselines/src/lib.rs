@@ -39,7 +39,10 @@ pub struct NoBalance {
 impl NoBalance {
     /// A network of `n` processors.
     pub fn new(n: usize) -> Self {
-        NoBalance { loads: vec![0; n], metrics: Metrics::new() }
+        NoBalance {
+            loads: vec![0; n],
+            metrics: Metrics::new(),
+        }
     }
 }
 
@@ -93,7 +96,11 @@ pub struct RandomScatter {
 impl RandomScatter {
     /// A network of `n` processors.
     pub fn new(n: usize, seed: u64) -> Self {
-        RandomScatter { loads: vec![0; n], metrics: Metrics::new(), rng: ChaCha8Rng::seed_from_u64(seed) }
+        RandomScatter {
+            loads: vec![0; n],
+            metrics: Metrics::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -163,7 +170,11 @@ impl Rsu91 {
     /// A network of `n ≥ 2` processors.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 2, "need at least two processors");
-        Rsu91 { loads: vec![0; n], metrics: Metrics::new(), rng: ChaCha8Rng::seed_from_u64(seed) }
+        Rsu91 {
+            loads: vec![0; n],
+            metrics: Metrics::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     fn maybe_balance(&mut self, i: usize) {
@@ -245,7 +256,13 @@ impl Gradient {
     pub fn new(topology: Topology, low_watermark: u64, high_watermark: u64) -> Self {
         assert!(low_watermark < high_watermark, "watermarks must be ordered");
         let n = topology.n();
-        Gradient { topology, loads: vec![0; n], metrics: Metrics::new(), low_watermark, high_watermark }
+        Gradient {
+            topology,
+            loads: vec![0; n],
+            metrics: Metrics::new(),
+            low_watermark,
+            high_watermark,
+        }
     }
 
     /// Multi-source BFS distance to the nearest underloaded processor.
@@ -353,7 +370,12 @@ impl Diffusion {
     pub fn new(topology: Topology, alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 0.5, "need 0 < alpha <= 0.5");
         let n = topology.n();
-        Diffusion { topology, loads: vec![0; n], metrics: Metrics::new(), alpha }
+        Diffusion {
+            topology,
+            loads: vec![0; n],
+            metrics: Metrics::new(),
+            alpha,
+        }
     }
 
     fn diffuse(&mut self) {
@@ -438,7 +460,11 @@ impl WorkStealing {
     /// A network of `n ≥ 2` processors.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 2, "need at least two processors");
-        WorkStealing { loads: vec![0; n], metrics: Metrics::new(), rng: ChaCha8Rng::seed_from_u64(seed) }
+        WorkStealing {
+            loads: vec![0; n],
+            metrics: Metrics::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -551,7 +577,10 @@ mod tests {
             );
         }
         // ... but any individual snapshot is terribly imbalanced.
-        assert!(max_over_mean_sum / runs as f64 > 4.0, "variance should be huge");
+        assert!(
+            max_over_mean_sum / runs as f64 > 4.0,
+            "variance should be huge"
+        );
     }
 
     #[test]

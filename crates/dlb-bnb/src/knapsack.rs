@@ -34,7 +34,10 @@ impl Knapsack {
     /// Panics on empty item lists or zero-weight items.
     pub fn new(mut items: Vec<(u64, u64)>, capacity: u64) -> Self {
         assert!(!items.is_empty(), "need at least one item");
-        assert!(items.iter().all(|&(w, _)| w > 0), "weights must be positive");
+        assert!(
+            items.iter().all(|&(w, _)| w > 0),
+            "weights must be positive"
+        );
         items.sort_by(|&(wa, va), &(wb, vb)| (vb * wa).cmp(&(va * wb)));
         Knapsack { items, capacity }
     }
@@ -44,7 +47,12 @@ impl Knapsack {
     pub fn random(n: usize, max_weight: u64, seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let items: Vec<(u64, u64)> = (0..n)
-            .map(|_| (rng.gen_range(1..=max_weight), rng.gen_range(1..=max_weight * 2)))
+            .map(|_| {
+                (
+                    rng.gen_range(1..=max_weight),
+                    rng.gen_range(1..=max_weight * 2),
+                )
+            })
             .collect();
         let capacity = items.iter().map(|&(w, _)| w).sum::<u64>() / 2;
         Knapsack::new(items, capacity)
@@ -94,7 +102,11 @@ impl Problem for Knapsack {
     }
 
     fn root(&self) -> KnapsackNode {
-        KnapsackNode { depth: 0, weight: 0, value: 0 }
+        KnapsackNode {
+            depth: 0,
+            weight: 0,
+            value: 0,
+        }
     }
 
     fn bound(&self, node: &KnapsackNode) -> u64 {
@@ -108,7 +120,11 @@ impl Problem for Knapsack {
     fn branch(&self, node: &KnapsackNode, out: &mut Vec<KnapsackNode>) {
         let (w, v) = self.items[node.depth];
         // Skip the item ...
-        out.push(KnapsackNode { depth: node.depth + 1, weight: node.weight, value: node.value });
+        out.push(KnapsackNode {
+            depth: node.depth + 1,
+            weight: node.weight,
+            value: node.value,
+        });
         // ... or take it, capacity permitting.
         if node.weight + w <= self.capacity {
             out.push(KnapsackNode {
@@ -156,7 +172,11 @@ mod tests {
         let ks = Knapsack::random(20, 40, 9);
         let outcome = Solver::default().solve(&ks);
         // Full tree would expand 2^21 − 1 nodes.
-        assert!(outcome.expanded < (1 << 19), "expanded {}", outcome.expanded);
+        assert!(
+            outcome.expanded < (1 << 19),
+            "expanded {}",
+            outcome.expanded
+        );
         assert!(outcome.pruned > 0);
     }
 

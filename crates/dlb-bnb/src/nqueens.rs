@@ -64,7 +64,12 @@ impl Enumeration for NQueens {
     type Node = QueenNode;
 
     fn root(&self) -> QueenNode {
-        QueenNode { row: 0, cols: 0, diag1: 0, diag2: 0 }
+        QueenNode {
+            row: 0,
+            cols: 0,
+            diag1: 0,
+            diag2: 0,
+        }
     }
 
     fn is_solution(&self, node: &QueenNode) -> bool {

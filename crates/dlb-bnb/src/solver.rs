@@ -70,7 +70,14 @@ pub struct Solver {
 impl Default for Solver {
     /// Four workers, δ = 2, f = 1.5.
     fn default() -> Self {
-        Solver { config: RuntimeConfig { workers: 4, delta: 2, f: 1.5, seed: 1 } }
+        Solver {
+            config: RuntimeConfig {
+                workers: 4,
+                delta: 2,
+                f: 1.5,
+                seed: 1,
+            },
+        }
     }
 }
 
@@ -176,13 +183,16 @@ impl Solver {
     /// Counts all solutions of an enumeration problem in parallel.
     pub fn count_solutions<P: Enumeration>(&self, problem: &P) -> (u64, RuntimeStats) {
         let solutions = AtomicU64::new(0);
-        let runtime =
-            ThreadedRuntime::run(self.config, vec![problem.root()], |_w, node: P::Node, out| {
+        let runtime = ThreadedRuntime::run(
+            self.config,
+            vec![problem.root()],
+            |_w, node: P::Node, out| {
                 if problem.is_solution(&node) {
                     solutions.fetch_add(1, Ordering::Relaxed);
                 }
                 problem.branch(&node, out);
-            });
+            },
+        );
         (solutions.load(Ordering::Relaxed), runtime)
     }
 }
@@ -228,7 +238,10 @@ mod tests {
 
         fn branch(&self, node: &PickNode, out: &mut Vec<PickNode>) {
             for &v in &self.rows[node.depth] {
-                out.push(PickNode { depth: node.depth + 1, sum: node.sum + v });
+                out.push(PickNode {
+                    depth: node.depth + 1,
+                    sum: node.sum + v,
+                });
             }
         }
     }

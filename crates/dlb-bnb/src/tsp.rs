@@ -51,7 +51,13 @@ impl Tsp {
             }
         }
         let min_edge = (0..n)
-            .map(|v| (0..n).filter(|&u| u != v).map(|u| dist[v][u]).min().expect("n >= 2"))
+            .map(|v| {
+                (0..n)
+                    .filter(|&u| u != v)
+                    .map(|u| dist[v][u])
+                    .min()
+                    .expect("n >= 2")
+            })
             .collect();
         Tsp { dist, min_edge }
     }
@@ -125,7 +131,11 @@ impl Problem for Tsp {
     }
 
     fn root(&self) -> TourNode {
-        TourNode { visited: 1, last: 0, cost: 0 }
+        TourNode {
+            visited: 1,
+            last: 0,
+            cost: 0,
+        }
     }
 
     fn bound(&self, node: &TourNode) -> u64 {
@@ -169,8 +179,7 @@ mod tests {
     fn matrix_validation() {
         let ok = Tsp::new(vec![vec![0, 2], vec![2, 0]]);
         assert_eq!(ok.n(), 2);
-        let bad_sym =
-            std::panic::catch_unwind(|| Tsp::new(vec![vec![0, 2], vec![3, 0]]));
+        let bad_sym = std::panic::catch_unwind(|| Tsp::new(vec![vec![0, 2], vec![3, 0]]));
         assert!(bad_sym.is_err(), "asymmetric rejected");
         let bad_diag = std::panic::catch_unwind(|| Tsp::new(vec![vec![1, 2], vec![2, 0]]));
         assert!(bad_diag.is_err(), "non-zero diagonal rejected");

@@ -1,29 +1,30 @@
 //! Scenario configuration: a JSON description of *what to run* — network
-//! size, balancing strategy, workload, horizon — so experiments can be
-//! driven without writing Rust.
+//! size, balancing strategy, workload, horizon, optional fault plan — so
+//! experiments can be driven without writing Rust.
 
-use serde::{Deserialize, Serialize};
+use dlb_faults::FaultPlan;
+use dlb_json::{FromJson, Json, ToJson};
 
 /// A complete runnable scenario.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Number of processors.
     pub n: usize,
     /// Global time steps per run.
     pub steps: usize,
     /// Independent seeded runs to average over.
-    #[serde(default = "default_runs")]
     pub runs: usize,
     /// Master seed.
-    #[serde(default)]
     pub seed: u64,
     /// Ignore the first fraction of each run when summarising quality.
-    #[serde(default = "default_warmup")]
     pub warmup_fraction: f64,
     /// The balancing strategy.
     pub strategy: StrategyConfig,
     /// The load pattern.
     pub workload: WorkloadConfig,
+    /// Optional fault injection: message loss, duplication, jitter,
+    /// crashes and partitions, applied per run with a per-run seed.
+    pub faults: Option<FaultPlan>,
 }
 
 fn default_runs() -> usize {
@@ -35,8 +36,7 @@ fn default_warmup() -> f64 {
 }
 
 /// Which balancer to run.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "kind", rename_all = "kebab-case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StrategyConfig {
     /// The full §4 virtual-load-class algorithm.
     Full {
@@ -45,7 +45,6 @@ pub enum StrategyConfig {
         /// Trigger factor.
         f: f64,
         /// Borrow limit.
-        #[serde(default = "default_c")]
         c: usize,
     },
     /// The practical raw-load variant.
@@ -54,6 +53,16 @@ pub enum StrategyConfig {
         delta: usize,
         /// Trigger factor.
         f: f64,
+    },
+    /// The practical variant run as a message-level asynchronous
+    /// protocol (the substrate fault plans act on).
+    Async {
+        /// Partners per balancing operation.
+        delta: usize,
+        /// Trigger factor.
+        f: f64,
+        /// Message latency in time units (one generate/consume tick = 1).
+        latency: u64,
     },
     /// Speed-proportional balancing for heterogeneous processors.
     Weighted {
@@ -73,7 +82,6 @@ pub enum StrategyConfig {
         /// Interconnect.
         topology: TopologyConfig,
         /// Restrict partners to topology neighbours.
-        #[serde(default)]
         neighbors_only: bool,
     },
     /// Rudolph/Slivkin-Allalouf/Upfal '91.
@@ -106,9 +114,12 @@ fn default_c() -> usize {
     4
 }
 
+fn default_latency() -> u64 {
+    4
+}
+
 /// Interconnect topologies.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "kind", rename_all = "kebab-case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TopologyConfig {
     /// Fully connected.
     Complete,
@@ -136,25 +147,20 @@ pub enum TopologyConfig {
 }
 
 /// Which workload drives the run.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "kind", rename_all = "kebab-case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadConfig {
     /// The paper's §7 phase model.
     Phase {
         /// Generation probability range.
-        #[serde(default = "default_g")]
         g: (f64, f64),
         /// Consumption probability range.
-        #[serde(default = "default_cc")]
         c: (f64, f64),
         /// Phase length range.
-        #[serde(default = "default_len")]
         len: (usize, usize),
     },
     /// One processor generates every step.
     OneProducer {
         /// Index of the producer.
-        #[serde(default)]
         producer: usize,
     },
     /// Independent per-processor coin flips.
@@ -190,17 +196,305 @@ fn default_len() -> (usize, usize) {
     (150, 400)
 }
 
+fn kind_of<'a>(value: &'a Json, what: &str) -> Result<&'a str, String> {
+    value
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .ok_or_else(|| format!("{what} needs a string \"kind\" field"))
+}
+
+fn pair<T: FromJson + Copy>(value: &Json, key: &str, default: (T, T)) -> Result<(T, T), String> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let items: Vec<T> = FromJson::from_json(v).map_err(|e| format!("{key}: {e}"))?;
+            match items[..] {
+                [lo, hi] => Ok((lo, hi)),
+                _ => Err(format!(
+                    "{key} must hold exactly [lo, hi], got {} items",
+                    items.len()
+                )),
+            }
+        }
+    }
+}
+
+fn pair_json<T: ToJson>(pair: &(T, T)) -> Json {
+    Json::Arr(vec![pair.0.to_json(), pair.1.to_json()])
+}
+
+impl ToJson for TopologyConfig {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let kind = match self {
+            TopologyConfig::Complete => "complete",
+            TopologyConfig::Ring => "ring",
+            TopologyConfig::Torus { w, h } => {
+                fields.push(("w".into(), w.to_json()));
+                fields.push(("h".into(), h.to_json()));
+                "torus"
+            }
+            TopologyConfig::Hypercube { dim } => {
+                fields.push(("dim".into(), dim.to_json()));
+                "hypercube"
+            }
+            TopologyConfig::DeBruijn { dim } => {
+                fields.push(("dim".into(), dim.to_json()));
+                "de-bruijn"
+            }
+            TopologyConfig::Star => "star",
+        };
+        let mut obj = vec![("kind".to_string(), Json::Str(kind.to_string()))];
+        obj.extend(fields);
+        Json::Obj(obj)
+    }
+}
+
+impl FromJson for TopologyConfig {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match kind_of(value, "topology")? {
+            "complete" => Ok(TopologyConfig::Complete),
+            "ring" => Ok(TopologyConfig::Ring),
+            "torus" => Ok(TopologyConfig::Torus {
+                w: dlb_json::req(value, "w")?,
+                h: dlb_json::req(value, "h")?,
+            }),
+            "hypercube" => Ok(TopologyConfig::Hypercube {
+                dim: dlb_json::req(value, "dim")?,
+            }),
+            "de-bruijn" => Ok(TopologyConfig::DeBruijn {
+                dim: dlb_json::req(value, "dim")?,
+            }),
+            "star" => Ok(TopologyConfig::Star),
+            other => Err(format!("unknown topology kind {other:?}")),
+        }
+    }
+}
+
+impl ToJson for StrategyConfig {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let kind = match self {
+            StrategyConfig::Full { delta, f, c } => {
+                fields.push(("delta".into(), delta.to_json()));
+                fields.push(("f".into(), f.to_json()));
+                fields.push(("c".into(), c.to_json()));
+                "full"
+            }
+            StrategyConfig::Simple { delta, f } => {
+                fields.push(("delta".into(), delta.to_json()));
+                fields.push(("f".into(), f.to_json()));
+                "simple"
+            }
+            StrategyConfig::Async { delta, f, latency } => {
+                fields.push(("delta".into(), delta.to_json()));
+                fields.push(("f".into(), f.to_json()));
+                fields.push(("latency".into(), latency.to_json()));
+                "async"
+            }
+            StrategyConfig::Weighted { delta, f, speeds } => {
+                fields.push(("delta".into(), delta.to_json()));
+                fields.push(("f".into(), f.to_json()));
+                fields.push(("speeds".into(), speeds.to_json()));
+                "weighted"
+            }
+            StrategyConfig::Topo {
+                delta,
+                f,
+                topology,
+                neighbors_only,
+            } => {
+                fields.push(("delta".into(), delta.to_json()));
+                fields.push(("f".into(), f.to_json()));
+                fields.push(("topology".into(), topology.to_json()));
+                fields.push(("neighbors_only".into(), neighbors_only.to_json()));
+                "topo"
+            }
+            StrategyConfig::Rsu91 => "rsu91",
+            StrategyConfig::WorkStealing => "work-stealing",
+            StrategyConfig::RandomScatter => "random-scatter",
+            StrategyConfig::Diffusion { topology, alpha } => {
+                fields.push(("topology".into(), topology.to_json()));
+                fields.push(("alpha".into(), alpha.to_json()));
+                "diffusion"
+            }
+            StrategyConfig::Gradient {
+                topology,
+                low,
+                high,
+            } => {
+                fields.push(("topology".into(), topology.to_json()));
+                fields.push(("low".into(), low.to_json()));
+                fields.push(("high".into(), high.to_json()));
+                "gradient"
+            }
+            StrategyConfig::None => "none",
+        };
+        let mut obj = vec![("kind".to_string(), Json::Str(kind.to_string()))];
+        obj.extend(fields);
+        Json::Obj(obj)
+    }
+}
+
+impl FromJson for StrategyConfig {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match kind_of(value, "strategy")? {
+            "full" => Ok(StrategyConfig::Full {
+                delta: dlb_json::req(value, "delta")?,
+                f: dlb_json::req(value, "f")?,
+                c: dlb_json::field_or(value, "c", default_c())?,
+            }),
+            "simple" => Ok(StrategyConfig::Simple {
+                delta: dlb_json::req(value, "delta")?,
+                f: dlb_json::req(value, "f")?,
+            }),
+            "async" => Ok(StrategyConfig::Async {
+                delta: dlb_json::req(value, "delta")?,
+                f: dlb_json::req(value, "f")?,
+                latency: dlb_json::field_or(value, "latency", default_latency())?,
+            }),
+            "weighted" => Ok(StrategyConfig::Weighted {
+                delta: dlb_json::req(value, "delta")?,
+                f: dlb_json::req(value, "f")?,
+                speeds: dlb_json::req(value, "speeds")?,
+            }),
+            "topo" => Ok(StrategyConfig::Topo {
+                delta: dlb_json::req(value, "delta")?,
+                f: dlb_json::req(value, "f")?,
+                topology: dlb_json::req(value, "topology")?,
+                neighbors_only: dlb_json::field_or(value, "neighbors_only", false)?,
+            }),
+            "rsu91" => Ok(StrategyConfig::Rsu91),
+            "work-stealing" => Ok(StrategyConfig::WorkStealing),
+            "random-scatter" => Ok(StrategyConfig::RandomScatter),
+            "diffusion" => Ok(StrategyConfig::Diffusion {
+                topology: dlb_json::req(value, "topology")?,
+                alpha: dlb_json::req(value, "alpha")?,
+            }),
+            "gradient" => Ok(StrategyConfig::Gradient {
+                topology: dlb_json::req(value, "topology")?,
+                low: dlb_json::req(value, "low")?,
+                high: dlb_json::req(value, "high")?,
+            }),
+            "none" => Ok(StrategyConfig::None),
+            other => Err(format!("unknown strategy kind {other:?}")),
+        }
+    }
+}
+
+impl ToJson for WorkloadConfig {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let kind = match self {
+            WorkloadConfig::Phase { g, c, len } => {
+                fields.push(("g".into(), pair_json(g)));
+                fields.push(("c".into(), pair_json(c)));
+                fields.push(("len".into(), pair_json(len)));
+                "phase"
+            }
+            WorkloadConfig::OneProducer { producer } => {
+                fields.push(("producer".into(), producer.to_json()));
+                "one-producer"
+            }
+            WorkloadConfig::Uniform { p_gen, p_con } => {
+                fields.push(("p_gen".into(), p_gen.to_json()));
+                fields.push(("p_con".into(), p_con.to_json()));
+                "uniform"
+            }
+            WorkloadConfig::MovingHotspot { period, p_con } => {
+                fields.push(("period".into(), period.to_json()));
+                fields.push(("p_con".into(), p_con.to_json()));
+                "moving-hotspot"
+            }
+            WorkloadConfig::Split { swap_every } => {
+                fields.push(("swap_every".into(), swap_every.to_json()));
+                "split"
+            }
+        };
+        let mut obj = vec![("kind".to_string(), Json::Str(kind.to_string()))];
+        obj.extend(fields);
+        Json::Obj(obj)
+    }
+}
+
+impl FromJson for WorkloadConfig {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match kind_of(value, "workload")? {
+            "phase" => Ok(WorkloadConfig::Phase {
+                g: pair(value, "g", default_g())?,
+                c: pair(value, "c", default_cc())?,
+                len: pair(value, "len", default_len())?,
+            }),
+            "one-producer" => Ok(WorkloadConfig::OneProducer {
+                producer: dlb_json::field_or(value, "producer", 0)?,
+            }),
+            "uniform" => Ok(WorkloadConfig::Uniform {
+                p_gen: dlb_json::req(value, "p_gen")?,
+                p_con: dlb_json::req(value, "p_con")?,
+            }),
+            "moving-hotspot" => Ok(WorkloadConfig::MovingHotspot {
+                period: dlb_json::req(value, "period")?,
+                p_con: dlb_json::req(value, "p_con")?,
+            }),
+            "split" => Ok(WorkloadConfig::Split {
+                swap_every: dlb_json::req(value, "swap_every")?,
+            }),
+            other => Err(format!("unknown workload kind {other:?}")),
+        }
+    }
+}
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("n".to_string(), self.n.to_json()),
+            ("steps".to_string(), self.steps.to_json()),
+            ("runs".to_string(), self.runs.to_json()),
+            ("seed".to_string(), self.seed.to_json()),
+            (
+                "warmup_fraction".to_string(),
+                self.warmup_fraction.to_json(),
+            ),
+            ("strategy".to_string(), self.strategy.to_json()),
+            ("workload".to_string(), self.workload.to_json()),
+        ];
+        if let Some(faults) = &self.faults {
+            obj.push(("faults".to_string(), faults.to_json()));
+        }
+        Json::Obj(obj)
+    }
+}
+
+impl FromJson for Scenario {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let faults = match value.get("faults") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(FaultPlan::from_json(v).map_err(|e| format!("faults: {e}"))?),
+        };
+        Ok(Scenario {
+            n: dlb_json::req(value, "n")?,
+            steps: dlb_json::req(value, "steps")?,
+            runs: dlb_json::field_or(value, "runs", default_runs())?,
+            seed: dlb_json::field_or(value, "seed", 0)?,
+            warmup_fraction: dlb_json::field_or(value, "warmup_fraction", default_warmup())?,
+            strategy: dlb_json::req(value, "strategy")?,
+            workload: dlb_json::req(value, "workload")?,
+            faults,
+        })
+    }
+}
+
 impl Scenario {
     /// Parses a scenario from JSON.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let scenario: Scenario = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let scenario: Scenario = FromJson::from_json(&Json::parse(text)?)?;
         scenario.validate()?;
         Ok(scenario)
     }
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("scenario serialisation cannot fail")
+        ToJson::to_json(self).render_pretty()
     }
 
     /// Checks cross-field constraints.
@@ -223,6 +517,11 @@ impl Scenario {
                 ));
             }
         }
+        if let Some(faults) = &self.faults {
+            faults
+                .validate(self.n)
+                .map_err(|e| format!("faults: {e}"))?;
+        }
         Ok(())
     }
 
@@ -240,6 +539,7 @@ impl Scenario {
                 c: default_cc(),
                 len: default_len(),
             },
+            faults: None,
         }
     }
 }
@@ -247,6 +547,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlb_faults::{CrashEvent, CrashMode};
 
     #[test]
     fn demo_roundtrips() {
@@ -266,7 +567,11 @@ mod tests {
         let s = Scenario::from_json(text).unwrap();
         assert_eq!(s.runs, 10, "default runs");
         assert_eq!(s.seed, 0, "default seed");
-        assert!(matches!(s.workload, WorkloadConfig::OneProducer { producer: 0 }));
+        assert!(matches!(
+            s.workload,
+            WorkloadConfig::OneProducer { producer: 0 }
+        ));
+        assert_eq!(s.faults, None, "no faults by default");
     }
 
     #[test]
@@ -275,8 +580,18 @@ mod tests {
         s.n = 1;
         assert!(s.validate().is_err());
         let mut s = Scenario::demo();
-        s.strategy = StrategyConfig::Weighted { delta: 1, f: 1.1, speeds: vec![1, 2] };
+        s.strategy = StrategyConfig::Weighted {
+            delta: 1,
+            f: 1.1,
+            speeds: vec![1, 2],
+        };
         assert!(s.validate().unwrap_err().contains("speeds"));
+        let mut s = Scenario::demo();
+        s.faults = Some(FaultPlan {
+            loss: 2.0,
+            ..FaultPlan::default()
+        });
+        assert!(s.validate().unwrap_err().contains("faults"));
         assert!(Scenario::from_json("{").is_err());
     }
 
@@ -285,6 +600,8 @@ mod tests {
         for kind in [
             r#"{"kind": "full", "delta": 2, "f": 1.3}"#,
             r#"{"kind": "simple", "delta": 1, "f": 1.1}"#,
+            r#"{"kind": "async", "delta": 2, "f": 1.3, "latency": 8}"#,
+            r#"{"kind": "async", "delta": 2, "f": 1.3}"#,
             r#"{"kind": "topo", "delta": 1, "f": 1.1, "topology": {"kind": "ring"}, "neighbors_only": true}"#,
             r#"{"kind": "rsu91"}"#,
             r#"{"kind": "work-stealing"}"#,
@@ -293,8 +610,53 @@ mod tests {
             r#"{"kind": "diffusion", "topology": {"kind": "ring"}, "alpha": 0.25}"#,
             r#"{"kind": "none"}"#,
         ] {
-            let parsed: Result<StrategyConfig, _> = serde_json::from_str(kind);
+            let value = Json::parse(kind).unwrap();
+            let parsed = StrategyConfig::from_json(&value);
             assert!(parsed.is_ok(), "{kind}: {parsed:?}");
         }
+    }
+
+    #[test]
+    fn async_latency_defaults() {
+        let value = Json::parse(r#"{"kind": "async", "delta": 1, "f": 1.2}"#).unwrap();
+        let parsed = StrategyConfig::from_json(&value).unwrap();
+        assert_eq!(
+            parsed,
+            StrategyConfig::Async {
+                delta: 1,
+                f: 1.2,
+                latency: 4
+            }
+        );
+    }
+
+    #[test]
+    fn faults_section_parses_and_roundtrips() {
+        let text = r#"{
+            "n": 8, "steps": 100,
+            "strategy": {"kind": "async", "delta": 2, "f": 1.3},
+            "workload": {"kind": "uniform", "p_gen": 0.5, "p_con": 0.3},
+            "faults": {
+                "loss": 0.1,
+                "jitter": 2,
+                "crash_mode": "frozen",
+                "crashes": [{"proc": 3, "at": 50, "recover_at": 80}]
+            }
+        }"#;
+        let s = Scenario::from_json(text).unwrap();
+        let plan = s.faults.clone().expect("faults parsed");
+        assert_eq!(plan.loss, 0.1);
+        assert_eq!(plan.jitter, 2);
+        assert_eq!(plan.crash_mode, CrashMode::Frozen);
+        assert_eq!(
+            plan.crashes,
+            vec![CrashEvent {
+                proc: 3,
+                at: 50,
+                recover_at: Some(80)
+            }]
+        );
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
     }
 }

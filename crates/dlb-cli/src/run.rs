@@ -3,9 +3,10 @@
 use crate::config::{Scenario, StrategyConfig, TopologyConfig, WorkloadConfig};
 use dlb_baselines::{Diffusion, Gradient, NoBalance, RandomScatter, Rsu91, WorkStealing};
 use dlb_core::{
-    Cluster, LoadBalancer, LoadRecorder, Params, SimpleCluster, WeightedCluster,
+    Cluster, LoadBalancer, LoadEvent, LoadRecorder, Params, SimpleCluster, WeightedCluster,
 };
-use dlb_net::{PartnerMode, TopoCluster, Topology};
+use dlb_faults::FaultInjector;
+use dlb_net::{AsyncConfig, AsyncNetwork, AsyncStats, PartnerMode, TopoCluster, Topology};
 use dlb_workload::patterns::{MovingHotspot, OneProducer, ProducerConsumerSplit, UniformRandom};
 use dlb_workload::phase::{PhaseConfig, PhaseWorkload};
 use dlb_workload::{drive, Workload};
@@ -27,12 +28,17 @@ pub struct Report {
     pub migrated_per_run: f64,
     /// Final total load of the last run.
     pub final_total: u64,
+    /// Protocol counters summed over all runs (async strategy only).
+    pub async_stats: Option<AsyncStats>,
+    /// Packets destroyed by fault injection, summed over all runs
+    /// (async strategy only; 0 without faults).
+    pub lost_load: u64,
 }
 
 impl Report {
     /// Renders the report as aligned text.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "strategy        {}\n\
              mean max/mean   {:.3}\n\
              p95 max/mean    {:.3}\n\
@@ -47,7 +53,30 @@ impl Report {
             self.ops_per_run,
             self.migrated_per_run,
             self.final_total
-        )
+        );
+        if let Some(s) = &self.async_stats {
+            out.push_str(&format!(
+                "\ncompleted ops   {}\n\
+                 aborted ops     {}\n\
+                 retries         {}\n\
+                 timeout recov.  {}\n\
+                 lost messages   {}\n\
+                 duplicated      {}\n\
+                 crashes         {}\n\
+                 recoveries      {}\n\
+                 lost load       {}",
+                s.completed_ops,
+                s.aborted_ops,
+                s.retries,
+                s.timeout_recoveries,
+                s.lost_messages,
+                s.duplicated_messages,
+                s.crashes,
+                s.recoveries,
+                self.lost_load
+            ));
+        }
+        out
     }
 }
 
@@ -66,14 +95,10 @@ fn build_topology(config: &TopologyConfig, n: usize) -> Result<Topology, String>
     Ok(topo)
 }
 
-fn build_strategy(
-    scenario: &Scenario,
-    seed: u64,
-) -> Result<Box<dyn LoadBalancer>, String> {
+fn build_strategy(scenario: &Scenario, seed: u64) -> Result<Box<dyn LoadBalancer>, String> {
     let n = scenario.n;
-    let params = |delta: usize, f: f64, c: usize| {
-        Params::new(n, delta, f, c).map_err(|e| e.to_string())
-    };
+    let params =
+        |delta: usize, f: f64, c: usize| Params::new(n, delta, f, c).map_err(|e| e.to_string());
     Ok(match &scenario.strategy {
         StrategyConfig::Full { delta, f, c } => {
             Box::new(Cluster::new(params(*delta, *f, *c)?, seed))
@@ -81,10 +106,20 @@ fn build_strategy(
         StrategyConfig::Simple { delta, f } => {
             Box::new(SimpleCluster::new(params(*delta, *f, 4)?, seed))
         }
-        StrategyConfig::Weighted { delta, f, speeds } => {
-            Box::new(WeightedCluster::new(params(*delta, *f, 4)?, speeds.clone(), seed))
+        StrategyConfig::Async { .. } => {
+            return Err("async strategy runs on the event simulator, not a LoadBalancer".into())
         }
-        StrategyConfig::Topo { delta, f, topology, neighbors_only } => {
+        StrategyConfig::Weighted { delta, f, speeds } => Box::new(WeightedCluster::new(
+            params(*delta, *f, 4)?,
+            speeds.clone(),
+            seed,
+        )),
+        StrategyConfig::Topo {
+            delta,
+            f,
+            topology,
+            neighbors_only,
+        } => {
             let topo = build_topology(topology, n)?;
             let mode = if *neighbors_only {
                 PartnerMode::Neighbors
@@ -102,7 +137,11 @@ fn build_strategy(
             }
             Box::new(Diffusion::new(build_topology(topology, n)?, *alpha))
         }
-        StrategyConfig::Gradient { topology, low, high } => {
+        StrategyConfig::Gradient {
+            topology,
+            low,
+            high,
+        } => {
             if low >= high {
                 return Err("gradient watermarks must satisfy low < high".into());
             }
@@ -116,7 +155,11 @@ fn build_workload(scenario: &Scenario, seed: u64) -> Result<Box<dyn Workload>, S
     let n = scenario.n;
     Ok(match &scenario.workload {
         WorkloadConfig::Phase { g, c, len } => {
-            let config = PhaseConfig { g: *g, c: *c, len: *len };
+            let config = PhaseConfig {
+                g: *g,
+                c: *c,
+                len: *len,
+            };
             config.validate()?;
             Box::new(PhaseWorkload::new(n, scenario.steps, config, seed))
         }
@@ -147,9 +190,83 @@ fn build_workload(scenario: &Scenario, seed: u64) -> Result<Box<dyn Workload>, S
     })
 }
 
+/// The fault plan for run `r`: the plan's own seed is offset per run so
+/// runs see independent fault streams.
+fn plan_for_run(scenario: &Scenario, r: usize) -> Option<dlb_faults::FaultPlan> {
+    scenario.faults.as_ref().map(|plan| {
+        let mut plan = plan.clone();
+        plan.seed = plan.seed.wrapping_add(r as u64);
+        plan
+    })
+}
+
+/// Runs the async (message-level) strategy.
+fn execute_async(
+    scenario: &Scenario,
+    delta: usize,
+    f: f64,
+    latency: u64,
+) -> Result<Report, String> {
+    let params = Params::new(scenario.n, delta, f, 4).map_err(|e| e.to_string())?;
+    let warmup = (scenario.steps as f64 * scenario.warmup_fraction) as usize;
+    let mut recorder = LoadRecorder::new(0, 3.0);
+    let mut stats = AsyncStats::default();
+    let mut lost_load = 0;
+    let mut ops = 0.0;
+    let mut migrated = 0.0;
+    let mut final_total = 0;
+    for r in 0..scenario.runs {
+        let seed = scenario.seed.wrapping_add(r as u64);
+        let config = AsyncConfig::reliable(params, latency, seed);
+        let mut net = match plan_for_run(scenario, r) {
+            Some(plan) => AsyncNetwork::with_faults(config, plan)?,
+            None => AsyncNetwork::new(config),
+        };
+        let mut workload = build_workload(scenario, seed ^ 0x000f_10a7)?;
+        let mut run_recorder = LoadRecorder::new(warmup, 3.0);
+        let mut events = Vec::new();
+        let mut actions = vec![0i8; scenario.n];
+        for t in 0..scenario.steps {
+            workload.events_at(t, &mut events);
+            for (a, e) in actions.iter_mut().zip(events.iter()) {
+                *a = match e {
+                    LoadEvent::Generate => 1,
+                    LoadEvent::Consume => -1,
+                    LoadEvent::Idle => 0,
+                };
+            }
+            net.tick(t as u64, &actions);
+            net.check_conservation()?;
+            run_recorder.record(&net.loads());
+        }
+        net.quiesce();
+        net.check_conservation()?;
+        recorder.merge(&run_recorder);
+        stats += *net.stats();
+        lost_load += net.lost();
+        ops += net.stats().completed_ops as f64;
+        migrated += net.stats().packets_moved as f64;
+        final_total = net.loads().iter().sum();
+    }
+    Ok(Report {
+        strategy: "spaa93-async".to_string(),
+        mean_ratio: recorder.mean_ratio(),
+        p95_ratio: recorder.ratio_quantile(0.95),
+        worst_ratio: recorder.worst_ratio(),
+        ops_per_run: ops / scenario.runs as f64,
+        migrated_per_run: migrated / scenario.runs as f64,
+        final_total,
+        async_stats: Some(stats),
+        lost_load,
+    })
+}
+
 /// Runs a scenario to completion and aggregates the report.
 pub fn execute(scenario: &Scenario) -> Result<Report, String> {
     scenario.validate()?;
+    if let StrategyConfig::Async { delta, f, latency } = scenario.strategy {
+        return execute_async(scenario, delta, f, latency);
+    }
     let warmup = (scenario.steps as f64 * scenario.warmup_fraction) as usize;
     let mut recorder = LoadRecorder::new(0, 3.0); // per-run warm-up handled below
     let mut strategy_name = String::new();
@@ -161,9 +278,30 @@ pub fn execute(scenario: &Scenario) -> Result<Report, String> {
         let mut balancer = build_strategy(scenario, seed)?;
         let mut workload = build_workload(scenario, seed ^ 0x000f_10a7)?;
         let mut run_recorder = LoadRecorder::new(warmup, 3.0);
-        drive(balancer.as_mut(), workload.as_mut(), scenario.steps, |_, b| {
-            run_recorder.record(&b.loads());
-        });
+        match plan_for_run(scenario, r) {
+            Some(plan) => {
+                // Synchronous engines take the fault plan as a per-step
+                // crash mask (message faults do not apply to atomic
+                // balancing operations).
+                let injector = FaultInjector::new(plan, scenario.n)?;
+                let mut events = Vec::new();
+                for t in 0..scenario.steps {
+                    workload.events_at(t, &mut events);
+                    balancer.step_masked(&events, &injector.mask_at(t as u64));
+                    run_recorder.record(&balancer.loads());
+                }
+            }
+            None => {
+                drive(
+                    balancer.as_mut(),
+                    workload.as_mut(),
+                    scenario.steps,
+                    |_, b| {
+                        run_recorder.record(&b.loads());
+                    },
+                );
+            }
+        }
         recorder.merge(&run_recorder);
         strategy_name = balancer.name().to_string();
         ops += balancer.metrics().balance_ops as f64;
@@ -178,6 +316,8 @@ pub fn execute(scenario: &Scenario) -> Result<Report, String> {
         ops_per_run: ops / scenario.runs as f64,
         migrated_per_run: migrated / scenario.runs as f64,
         final_total,
+        async_stats: None,
+        lost_load: 0,
     })
 }
 
@@ -185,6 +325,7 @@ pub fn execute(scenario: &Scenario) -> Result<Report, String> {
 mod tests {
     use super::*;
     use crate::config::Scenario;
+    use dlb_faults::{CrashEvent, FaultPlan};
 
     fn small_scenario(strategy: StrategyConfig, workload: WorkloadConfig) -> Scenario {
         Scenario {
@@ -195,6 +336,7 @@ mod tests {
             warmup_fraction: 0.2,
             strategy,
             workload,
+            faults: None,
         }
     }
 
@@ -212,9 +354,22 @@ mod tests {
     #[test]
     fn every_strategy_kind_executes() {
         let strategies = vec![
-            StrategyConfig::Full { delta: 1, f: 1.1, c: 4 },
+            StrategyConfig::Full {
+                delta: 1,
+                f: 1.1,
+                c: 4,
+            },
             StrategyConfig::Simple { delta: 2, f: 1.4 },
-            StrategyConfig::Weighted { delta: 1, f: 1.1, speeds: vec![1; 8] },
+            StrategyConfig::Async {
+                delta: 2,
+                f: 1.4,
+                latency: 2,
+            },
+            StrategyConfig::Weighted {
+                delta: 1,
+                f: 1.1,
+                speeds: vec![1; 8],
+            },
             StrategyConfig::Topo {
                 delta: 1,
                 f: 1.1,
@@ -229,13 +384,19 @@ mod tests {
                 low: 2,
                 high: 8,
             },
-            StrategyConfig::Diffusion { topology: TopologyConfig::Ring, alpha: 0.25 },
+            StrategyConfig::Diffusion {
+                topology: TopologyConfig::Ring,
+                alpha: 0.25,
+            },
             StrategyConfig::None,
         ];
         for strategy in strategies {
             let scenario = small_scenario(
                 strategy.clone(),
-                WorkloadConfig::Uniform { p_gen: 0.5, p_con: 0.3 },
+                WorkloadConfig::Uniform {
+                    p_gen: 0.5,
+                    p_con: 0.3,
+                },
             );
             let report = execute(&scenario).unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
             assert!(report.mean_ratio >= 1.0, "{strategy:?}");
@@ -245,40 +406,95 @@ mod tests {
     #[test]
     fn every_workload_kind_executes() {
         let workloads = vec![
-            WorkloadConfig::Phase { g: (0.1, 0.9), c: (0.1, 0.7), len: (20, 60) },
+            WorkloadConfig::Phase {
+                g: (0.1, 0.9),
+                c: (0.1, 0.7),
+                len: (20, 60),
+            },
             WorkloadConfig::OneProducer { producer: 3 },
-            WorkloadConfig::Uniform { p_gen: 0.4, p_con: 0.4 },
-            WorkloadConfig::MovingHotspot { period: 10, p_con: 0.2 },
+            WorkloadConfig::Uniform {
+                p_gen: 0.4,
+                p_con: 0.4,
+            },
+            WorkloadConfig::MovingHotspot {
+                period: 10,
+                p_con: 0.2,
+            },
             WorkloadConfig::Split { swap_every: 25 },
         ];
         for workload in workloads {
-            let scenario =
-                small_scenario(StrategyConfig::Simple { delta: 1, f: 1.2 }, workload.clone());
+            let scenario = small_scenario(
+                StrategyConfig::Simple { delta: 1, f: 1.2 },
+                workload.clone(),
+            );
             execute(&scenario).unwrap_or_else(|e| panic!("{workload:?}: {e}"));
         }
     }
 
     #[test]
-    fn topology_size_mismatch_is_an_error() {
-        let scenario = small_scenario(
-            StrategyConfig::Topo {
-                delta: 1,
-                f: 1.1,
-                topology: TopologyConfig::Torus { w: 3, h: 2 }, // 6 != 8
-                neighbors_only: false,
+    fn async_strategy_reports_protocol_stats() {
+        let mut scenario = small_scenario(
+            StrategyConfig::Async {
+                delta: 2,
+                f: 1.3,
+                latency: 2,
             },
-            WorkloadConfig::OneProducer { producer: 0 },
+            WorkloadConfig::Uniform {
+                p_gen: 0.6,
+                p_con: 0.2,
+            },
         );
-        let err = execute(&scenario).unwrap_err();
-        assert!(err.contains("topology"), "{err}");
+        scenario.steps = 300;
+        let report = execute(&scenario).unwrap();
+        assert_eq!(report.strategy, "spaa93-async");
+        let stats = report.async_stats.expect("async stats present");
+        assert!(stats.completed_ops > 0, "{stats:?}");
+        assert!(report.render().contains("completed ops"));
     }
 
     #[test]
-    fn bad_probabilities_are_an_error() {
-        let scenario = small_scenario(
-            StrategyConfig::Simple { delta: 1, f: 1.2 },
-            WorkloadConfig::Uniform { p_gen: 0.8, p_con: 0.5 },
+    fn async_strategy_with_faults_executes_and_accounts_loss() {
+        let mut scenario = small_scenario(
+            StrategyConfig::Async {
+                delta: 2,
+                f: 1.3,
+                latency: 2,
+            },
+            WorkloadConfig::Uniform {
+                p_gen: 0.6,
+                p_con: 0.2,
+            },
         );
-        assert!(execute(&scenario).is_err());
+        scenario.steps = 400;
+        scenario.faults = Some(FaultPlan {
+            seed: 1,
+            loss: 0.2,
+            ..FaultPlan::default()
+        });
+        let report = execute(&scenario).unwrap();
+        let stats = report.async_stats.expect("async stats present");
+        assert!(stats.lost_messages > 0, "{stats:?}");
+        assert!(report.render().contains("lost messages"));
+    }
+
+    #[test]
+    fn sync_strategy_accepts_a_crash_mask() {
+        let mut scenario = small_scenario(
+            StrategyConfig::Simple { delta: 1, f: 1.2 },
+            WorkloadConfig::Uniform {
+                p_gen: 0.5,
+                p_con: 0.3,
+            },
+        );
+        scenario.faults = Some(FaultPlan {
+            crashes: vec![CrashEvent {
+                proc: 2,
+                at: 30,
+                recover_at: Some(60),
+            }],
+            ..FaultPlan::default()
+        });
+        let report = execute(&scenario).unwrap();
+        assert!(report.mean_ratio >= 1.0);
     }
 }

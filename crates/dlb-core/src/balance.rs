@@ -20,7 +20,9 @@ pub fn even_shares(total: u64, m: usize) -> Vec<u64> {
     assert!(m > 0, "cannot split over an empty group");
     let base = total / m as u64;
     let extras = (total % m as u64) as usize;
-    (0..m).map(|i| if i < extras { base + 1 } else { base }).collect()
+    (0..m)
+        .map(|i| if i < extras { base + 1 } else { base })
+        .collect()
 }
 
 /// Allocation-free core of [`distribute_classes`]: writes the shares into
@@ -88,7 +90,10 @@ pub fn distribute_classes(class_totals: &[u64], m: usize, running: &mut [u64]) -
 /// Panics if `total` exceeds the aggregate capacity.
 pub fn distribute_capped(total: u64, caps: &[u64]) -> Vec<u64> {
     let capacity: u64 = caps.iter().sum();
-    assert!(total <= capacity, "insufficient capacity: {total} > {capacity}");
+    assert!(
+        total <= capacity,
+        "insufficient capacity: {total} > {capacity}"
+    );
     let mut out = vec![0u64; caps.len()];
     let mut remaining = total;
     while remaining > 0 {
@@ -157,8 +162,9 @@ mod tests {
             assert_eq!(shares.iter().sum::<u64>(), totals[j], "class {j} conserved");
             assert!(spread(shares) <= 1, "class {j} spread");
         }
-        let grand: Vec<u64> =
-            (0..m).map(|s| out.iter().map(|shares| shares[s]).sum()).collect();
+        let grand: Vec<u64> = (0..m)
+            .map(|s| out.iter().map(|shares| shares[s]).sum())
+            .collect();
         assert!(spread(&grand) <= 1, "grand totals {grand:?}");
         assert_eq!(grand, running);
     }
@@ -196,7 +202,10 @@ mod tests {
     fn capped_distribution_respects_caps_and_evenness() {
         let out = distribute_capped(7, &[4, 1, 4]);
         assert_eq!(out.iter().sum::<u64>(), 7);
-        assert!(out.iter().zip([4u64, 1, 4]).all(|(&o, c)| o <= c), "{out:?}");
+        assert!(
+            out.iter().zip([4u64, 1, 4]).all(|(&o, c)| o <= c),
+            "{out:?}"
+        );
         // With caps [4,1,4] the most even split of 7 is [3,1,3].
         assert_eq!(out, vec![3, 1, 3]);
         assert_eq!(distribute_capped(0, &[2, 2]), vec![0, 0]);
@@ -216,8 +225,7 @@ mod tests {
         let m = 7;
         let mut running = vec![0u64; m];
         let out = distribute_classes(&totals, m, &mut running);
-        let grand: Vec<u64> =
-            (0..m).map(|s| out.iter().map(|sh| sh[s]).sum()).collect();
+        let grand: Vec<u64> = (0..m).map(|s| out.iter().map(|sh| sh[s]).sum()).collect();
         assert!(spread(&grand) <= 1, "{grand:?}");
         assert_eq!(grand.iter().sum::<u64>(), 97);
     }

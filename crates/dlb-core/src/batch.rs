@@ -23,12 +23,18 @@ pub struct BatchEvent {
 impl BatchEvent {
     /// Generate `k` packets.
     pub fn gen(k: u32) -> Self {
-        BatchEvent { generate: k, ..Default::default() }
+        BatchEvent {
+            generate: k,
+            ..Default::default()
+        }
     }
 
     /// Consume `k` packets.
     pub fn con(k: u32) -> Self {
-        BatchEvent { consume: k, ..Default::default() }
+        BatchEvent {
+            consume: k,
+            ..Default::default()
+        }
     }
 
     /// Do nothing.
@@ -48,13 +54,21 @@ pub fn step_batch<B: LoadBalancer + ?Sized>(balancer: &mut B, batches: &[BatchEv
     let mut events = vec![LoadEvent::Idle; n];
     for round in 0..max_gen {
         for (e, b) in events.iter_mut().zip(batches.iter()) {
-            *e = if round < b.generate { LoadEvent::Generate } else { LoadEvent::Idle };
+            *e = if round < b.generate {
+                LoadEvent::Generate
+            } else {
+                LoadEvent::Idle
+            };
         }
         balancer.step(&events);
     }
     for round in 0..max_con {
         for (e, b) in events.iter_mut().zip(batches.iter()) {
-            *e = if round < b.consume { LoadEvent::Consume } else { LoadEvent::Idle };
+            *e = if round < b.consume {
+                LoadEvent::Consume
+            } else {
+                LoadEvent::Idle
+            };
         }
         balancer.step(&events);
     }
@@ -72,14 +86,22 @@ mod tests {
         let mut cluster = SimpleCluster::new(params, 1);
         step_batch(
             &mut cluster,
-            &[BatchEvent::gen(5), BatchEvent::gen(2), BatchEvent::idle(), BatchEvent::con(3)],
+            &[
+                BatchEvent::gen(5),
+                BatchEvent::gen(2),
+                BatchEvent::idle(),
+                BatchEvent::con(3),
+            ],
         );
         let m = cluster.metrics();
         assert_eq!(m.generated, 7);
         // Consumption is bounded by availability; packets may have been
         // balanced onto processor 3 by then.
         assert!(m.consumed <= 3);
-        assert_eq!(cluster.loads().iter().sum::<u64>(), m.generated - m.consumed);
+        assert_eq!(
+            cluster.loads().iter().sum::<u64>(),
+            m.generated - m.consumed
+        );
     }
 
     #[test]
@@ -92,7 +114,10 @@ mod tests {
                     if (i + round as usize).is_multiple_of(2) {
                         BatchEvent::gen(3)
                     } else {
-                        BatchEvent { generate: 1, consume: 2 }
+                        BatchEvent {
+                            generate: 1,
+                            consume: 2,
+                        }
                     }
                 })
                 .collect();

@@ -4,12 +4,12 @@
 //! `remote_borrow`, `borrow_fail` and `decrease_sim`; the rest quantify
 //! the migration/communication tradeoffs discussed in §1 and §6.
 
-use serde::{Deserialize, Serialize};
+use dlb_json::{FromJson, Json, ToJson};
 use std::fmt;
 use std::ops::AddAssign;
 
 /// Counters accumulated over a run of the algorithm.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Full balancing operations (trigger-driven, over `δ + 1` processors).
     pub balance_ops: u64,
@@ -66,6 +66,49 @@ impl Metrics {
     }
 }
 
+macro_rules! metrics_fields {
+    ($macro:ident) => {
+        $macro!(
+            balance_ops,
+            class_balance_ops,
+            packets_migrated,
+            markers_migrated,
+            total_borrow,
+            remote_borrow,
+            borrow_fail,
+            decrease_sim,
+            markers_settled,
+            generated,
+            consumed,
+            consume_blocked,
+            consume_failed,
+            messages
+        )
+    };
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        macro_rules! emit {
+            ($($field:ident),*) => {
+                Json::Obj(vec![$((stringify!($field).to_string(), self.$field.to_json())),*])
+            };
+        }
+        metrics_fields!(emit)
+    }
+}
+
+impl FromJson for Metrics {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        macro_rules! read {
+            ($($field:ident),*) => {
+                Ok(Metrics { $($field: dlb_json::field_or(value, stringify!($field), 0)?),* })
+            };
+        }
+        metrics_fields!(read)
+    }
+}
+
 impl AddAssign for Metrics {
     fn add_assign(&mut self, other: Metrics) {
         self.balance_ops += other.balance_ops;
@@ -107,8 +150,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = Metrics { balance_ops: 2, packets_migrated: 10, ..Metrics::new() };
-        let b = Metrics { balance_ops: 3, total_borrow: 7, ..Metrics::new() };
+        let mut a = Metrics {
+            balance_ops: 2,
+            packets_migrated: 10,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            balance_ops: 3,
+            total_borrow: 7,
+            ..Metrics::new()
+        };
         a += b;
         assert_eq!(a.balance_ops, 5);
         assert_eq!(a.packets_migrated, 10);
@@ -118,14 +169,40 @@ mod tests {
     #[test]
     fn migration_per_op_handles_zero() {
         assert_eq!(Metrics::new().migration_per_op(), 0.0);
-        let m = Metrics { balance_ops: 4, packets_migrated: 10, ..Metrics::new() };
+        let m = Metrics {
+            balance_ops: 4,
+            packets_migrated: 10,
+            ..Metrics::new()
+        };
         assert!((m.migration_per_op() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = Metrics {
+            balance_ops: 1,
+            total_borrow: 2,
+            messages: u64::MAX,
+            ..Metrics::new()
+        };
+        let j = dlb_json::Json::parse(&m.to_json().render()).unwrap();
+        assert_eq!(Metrics::from_json(&j).unwrap(), m);
+        // Missing fields default to zero (forward compatibility).
+        assert_eq!(
+            Metrics::from_json(&dlb_json::Json::Obj(vec![])).unwrap(),
+            Metrics::new()
+        );
     }
 
     #[test]
     fn display_mentions_table1_counters() {
         let text = Metrics::new().to_string();
-        for key in ["total borrow", "remote borrow", "borrow fail", "decrease sim"] {
+        for key in [
+            "total borrow",
+            "remote borrow",
+            "borrow fail",
+            "decrease sim",
+        ] {
             assert!(text.contains(key), "{key} missing from {text}");
         }
     }

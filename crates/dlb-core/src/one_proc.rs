@@ -120,21 +120,14 @@ impl OneProcModel {
 /// exactly `t` balancing operations, averaged over `runs` seeded runs
 /// starting from a balanced state with `initial` packets each (Theorem 1's
 /// `G^t(1)` with integer granularity `1/initial`).
-pub fn mean_ratio_after_ops(
-    params: Params,
-    t: u64,
-    runs: usize,
-    initial: u64,
-    seed: u64,
-) -> f64 {
+pub fn mean_ratio_after_ops(params: Params, t: u64, runs: usize, initial: u64, seed: u64) -> f64 {
     let mut sum_gen = 0.0;
     let mut sum_other = 0.0;
     for r in 0..runs {
         let mut model = OneProcModel::new(params, seed.wrapping_add(r as u64), initial);
         model.generate_until_ops(t);
         sum_gen += model.loads()[0] as f64;
-        sum_other += model.loads()[1..].iter().sum::<u64>() as f64
-            / (params.n() - 1) as f64;
+        sum_other += model.loads()[1..].iter().sum::<u64>() as f64 / (params.n() - 1) as f64;
     }
     sum_gen / sum_other
 }
@@ -172,8 +165,8 @@ pub fn decrease_ops(params: Params, x: u64, c: u64, seed: u64) -> u64 {
         }
         // Bulk-consume to the shrink threshold ⌊l_old / f⌋ (capped by the
         // outstanding obligation); between triggers nothing else happens.
-        let threshold = ((model.l_old as f64 / params.f()).floor() as u64)
-            .min(model.l_old.saturating_sub(1));
+        let threshold =
+            ((model.l_old as f64 / params.f()).floor() as u64).min(model.l_old.saturating_sub(1));
         let to_trigger = model.loads[0].saturating_sub(threshold);
         if to_trigger >= remaining {
             model.loads[0] -= remaining;
@@ -251,7 +244,10 @@ mod tests {
         for _ in 0..40 {
             balanced |= model.consume();
         }
-        assert!(balanced, "shrink trigger should fire within 40 consumes at f=1.2");
+        assert!(
+            balanced,
+            "shrink trigger should fire within 40 consumes at f=1.2"
+        );
         // Balance refilled processor 0 from the partners.
         assert!(model.loads()[0] > 0);
     }

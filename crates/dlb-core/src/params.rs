@@ -1,11 +1,11 @@
 //! Parameters of the full load balancing algorithm.
 
+use dlb_json::{FromJson, Json, ToJson};
 use dlb_theory::{AlgoParams, ParamError};
-use serde::{Deserialize, Serialize};
 
 /// How borrowed-packet markers are repaid when the remote generator still
 /// holds self-generated packets (`d_{j,j} > 0`; §4 / appendix).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExchangePolicy {
     /// Repay only markers of the remote generator's own class:
     /// `x = min{d_{j,j}, b_{i,j}}`.  Preserves per-class virtual-load
@@ -19,6 +19,28 @@ pub enum ExchangePolicy {
     /// on the borrower per remote operation, at the cost of per-class
     /// conservation (global conservation still holds).
     Aggressive,
+}
+
+impl ToJson for ExchangePolicy {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ExchangePolicy::Strict => "strict",
+                ExchangePolicy::Aggressive => "aggressive",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ExchangePolicy {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match value.as_str() {
+            Some("strict") => Ok(ExchangePolicy::Strict),
+            Some("aggressive") => Ok(ExchangePolicy::Aggressive),
+            other => Err(format!("unknown exchange policy {other:?}")),
+        }
+    }
 }
 
 /// Validated parameter set of the full algorithm: the analysis triple
@@ -37,7 +59,11 @@ impl Params {
     /// balancing operation, `f` the trigger factor (`1 ≤ f < δ + 1`), and
     /// `c_borrow` the limit `C` on borrowed packets per processor.
     pub fn new(n: usize, delta: usize, f: f64, c_borrow: usize) -> Result<Self, ParamError> {
-        Ok(Params { algo: AlgoParams::new(n, delta, f)?, c_borrow, exchange: ExchangePolicy::Strict })
+        Ok(Params {
+            algo: AlgoParams::new(n, delta, f)?,
+            c_borrow,
+            exchange: ExchangePolicy::Strict,
+        })
     }
 
     /// The configuration of the paper's §7 experiments:

@@ -22,7 +22,12 @@ impl LoadRecorder {
     /// A recorder that skips the first `warmup` steps and snapshots with
     /// mean load below `mean_floor`.
     pub fn new(warmup: usize, mean_floor: f64) -> Self {
-        LoadRecorder { warmup, mean_floor, samples: Vec::new(), steps_seen: 0 }
+        LoadRecorder {
+            warmup,
+            mean_floor,
+            samples: Vec::new(),
+            steps_seen: 0,
+        }
     }
 
     /// Records one snapshot (call once per step with the current loads).
@@ -63,8 +68,7 @@ impl LoadRecorder {
         if self.samples.is_empty() {
             return 1.0;
         }
-        let mut ratios: Vec<f64> =
-            self.samples.iter().map(|s| s.max_over_mean).collect();
+        let mut ratios: Vec<f64> = self.samples.iter().map(|s| s.max_over_mean).collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         let idx = ((ratios.len() - 1) as f64 * q).round() as usize;
         ratios[idx]

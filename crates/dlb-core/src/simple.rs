@@ -66,24 +66,41 @@ impl SimpleCluster {
         Ok(())
     }
 
-    fn trigger_check(&mut self, i: usize) {
+    fn trigger_check(&mut self, i: usize, down: &[bool]) {
         let cur = self.loads[i];
         let last = self.l_old[i];
         if self.params.grow_triggered(cur, last) || self.params.shrink_triggered(cur, last) {
-            self.full_balance(i);
+            self.full_balance(i, down);
         }
     }
 
-    fn full_balance(&mut self, initiator: usize) {
-        self.metrics.balance_ops += 1;
+    /// `down` is empty (no crash mask) or one flag per processor; down
+    /// processors are never picked as partners.
+    fn full_balance(&mut self, initiator: usize, down: &[bool]) {
         let n = self.params.n();
         let delta = self.params.delta();
         let mut members: Vec<usize> = vec![initiator];
-        members.extend(
-            sample(&mut self.rng, n - 1, delta)
-                .iter()
-                .map(|x| if x >= initiator { x + 1 } else { x }),
-        );
+        if down.iter().any(|&d| d) {
+            let candidates: Vec<usize> = (0..n).filter(|&p| p != initiator && !down[p]).collect();
+            if candidates.is_empty() {
+                return; // nobody alive to balance with
+            }
+            let k = delta.min(candidates.len());
+            members.extend(
+                sample(&mut self.rng, candidates.len(), k)
+                    .iter()
+                    .map(|x| candidates[x]),
+            );
+        } else {
+            members.extend(sample(&mut self.rng, n - 1, delta).iter().map(|x| {
+                if x >= initiator {
+                    x + 1
+                } else {
+                    x
+                }
+            }));
+        }
+        self.metrics.balance_ops += 1;
         self.metrics.messages += members.len() as u64;
         let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
         let shares = even_shares(total, members.len());
@@ -91,6 +108,32 @@ impl SimpleCluster {
             self.metrics.packets_migrated += self.loads[m].saturating_sub(share);
             self.loads[m] = share;
             self.l_old[m] = share;
+        }
+    }
+
+    fn step_impl(&mut self, events: &[LoadEvent], down: &[bool]) {
+        assert_eq!(events.len(), self.params.n(), "one event per processor");
+        for (i, &ev) in events.iter().enumerate() {
+            if !down.is_empty() && down[i] {
+                continue; // crashed: no event, no trigger, load frozen
+            }
+            match ev {
+                LoadEvent::Generate => {
+                    self.loads[i] += 1;
+                    self.metrics.generated += 1;
+                    self.trigger_check(i, down);
+                }
+                LoadEvent::Consume => {
+                    if self.loads[i] > 0 {
+                        self.loads[i] -= 1;
+                        self.metrics.consumed += 1;
+                        self.trigger_check(i, down);
+                    } else {
+                        self.metrics.consume_blocked += 1;
+                    }
+                }
+                LoadEvent::Idle => {}
+            }
         }
     }
 }
@@ -105,26 +148,15 @@ impl LoadBalancer for SimpleCluster {
     }
 
     fn step(&mut self, events: &[LoadEvent]) {
-        assert_eq!(events.len(), self.params.n(), "one event per processor");
-        for (i, &ev) in events.iter().enumerate() {
-            match ev {
-                LoadEvent::Generate => {
-                    self.loads[i] += 1;
-                    self.metrics.generated += 1;
-                    self.trigger_check(i);
-                }
-                LoadEvent::Consume => {
-                    if self.loads[i] > 0 {
-                        self.loads[i] -= 1;
-                        self.metrics.consumed += 1;
-                        self.trigger_check(i);
-                    } else {
-                        self.metrics.consume_blocked += 1;
-                    }
-                }
-                LoadEvent::Idle => {}
-            }
-        }
+        self.step_impl(events, &[]);
+    }
+
+    /// Crash-mask stepping: down processors take no events, never
+    /// initiate, are never picked as partners, and their load is frozen
+    /// in place until they rejoin.
+    fn step_masked(&mut self, events: &[LoadEvent], down: &[bool]) {
+        assert_eq!(events.len(), down.len(), "event/mask length mismatch");
+        self.step_impl(events, down);
     }
 
     fn metrics(&self) -> &Metrics {
@@ -177,7 +209,10 @@ mod tests {
         // Theorem 2 bound δ/(δ+1−f) = 2/1.5 ≈ 1.33; the empirical mean
         // ratio should be near (and statistically not far above) it.
         let bound = dlb_theory::operators::fix_limit(2, 1.5);
-        assert!(mean_ratio < bound * 1.25, "mean ratio {mean_ratio} vs bound {bound}");
+        assert!(
+            mean_ratio < bound * 1.25,
+            "mean ratio {mean_ratio} vs bound {bound}"
+        );
         assert!(mean_ratio > 1.0, "producer should carry more: {mean_ratio}");
     }
 
@@ -198,8 +233,15 @@ mod tests {
         let params = Params::paper_section7(8);
         let run = |seed| {
             let mut c = SimpleCluster::new(params, seed);
-            let events: Vec<LoadEvent> =
-                (0..8).map(|i| if i % 2 == 0 { LoadEvent::Generate } else { LoadEvent::Consume }).collect();
+            let events: Vec<LoadEvent> = (0..8)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        LoadEvent::Generate
+                    } else {
+                        LoadEvent::Consume
+                    }
+                })
+                .collect();
             for _ in 0..200 {
                 c.step(&events);
             }
@@ -207,6 +249,50 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn masked_step_freezes_down_processors() {
+        let params = Params::paper_section7(8);
+        let mut cluster = SimpleCluster::with_initial_load(params, 2, 50);
+        let frozen = cluster.load(3);
+        let events = vec![LoadEvent::Generate; 8];
+        let mut down = vec![false; 8];
+        down[3] = true;
+        for _ in 0..200 {
+            cluster.step_masked(&events, &down);
+        }
+        assert_eq!(cluster.load(3), frozen, "down processor's load is frozen");
+        cluster.check_invariants().unwrap();
+        // After recovery the processor participates again.
+        down[3] = false;
+        for _ in 0..200 {
+            cluster.step_masked(&events, &down);
+        }
+        assert!(
+            cluster.load(3) > frozen,
+            "rejoined processor accumulates load"
+        );
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_mask_matches_plain_step() {
+        let params = Params::paper_section7(8);
+        let run = |masked: bool| {
+            let mut c = SimpleCluster::new(params, 7);
+            let events = vec![LoadEvent::Generate; 8];
+            let down = vec![false; 8];
+            for _ in 0..300 {
+                if masked {
+                    c.step_masked(&events, &down);
+                } else {
+                    c.step(&events);
+                }
+            }
+            c.loads()
+        };
+        assert_eq!(run(true), run(false), "all-alive mask is a no-op");
     }
 
     #[test]

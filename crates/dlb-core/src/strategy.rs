@@ -3,11 +3,11 @@
 //! `dlb-baselines`), plus load-distribution statistics.
 
 use crate::metrics::Metrics;
-use serde::{Deserialize, Serialize};
+use dlb_json::{FromJson, Json, ToJson};
 
 /// What a processor does in one global time step (§2: generate one packet,
 /// consume one locally available packet, or do nothing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadEvent {
     /// Generate one work packet.
     Generate,
@@ -15,6 +15,31 @@ pub enum LoadEvent {
     Consume,
     /// Do nothing.
     Idle,
+}
+
+impl ToJson for LoadEvent {
+    /// Single-letter encoding keeps serialised traces compact.
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                LoadEvent::Generate => "g",
+                LoadEvent::Consume => "c",
+                LoadEvent::Idle => "i",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for LoadEvent {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match value.as_str() {
+            Some("g") => Ok(LoadEvent::Generate),
+            Some("c") => Ok(LoadEvent::Consume),
+            Some("i") => Ok(LoadEvent::Idle),
+            other => Err(format!("unknown load event {other:?}")),
+        }
+    }
 }
 
 /// A distributed load balancing strategy driven by per-processor events.
@@ -29,6 +54,23 @@ pub trait LoadBalancer {
     /// action.  `events.len()` must equal [`LoadBalancer::n`].
     fn step(&mut self, events: &[LoadEvent]);
 
+    /// Advances one step under a crash mask: `down[i]` marks processor `i`
+    /// as crashed for this step.  A crashed processor performs no event
+    /// (its generate/consume is suppressed) and — for engines that
+    /// override this — neither initiates balancing nor serves as a
+    /// partner, so its load is frozen.  The default implementation only
+    /// masks the events; it is correct for any balancer but does not stop
+    /// down processors from being picked as partners.
+    fn step_masked(&mut self, events: &[LoadEvent], down: &[bool]) {
+        assert_eq!(events.len(), down.len(), "event/mask length mismatch");
+        let masked: Vec<LoadEvent> = events
+            .iter()
+            .zip(down.iter())
+            .map(|(&e, &d)| if d { LoadEvent::Idle } else { e })
+            .collect();
+        self.step(&masked);
+    }
+
     /// Activity counters accumulated so far.
     fn metrics(&self) -> &Metrics;
 
@@ -37,7 +79,7 @@ pub trait LoadBalancer {
 }
 
 /// Summary statistics of a load distribution snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImbalanceStats {
     /// Smallest per-processor load.
     pub min: u64,
@@ -54,15 +96,31 @@ pub struct ImbalanceStats {
 /// Computes [`ImbalanceStats`] for a load snapshot.
 pub fn imbalance_stats(loads: &[u64]) -> ImbalanceStats {
     if loads.is_empty() {
-        return ImbalanceStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0, max_over_mean: 1.0 };
+        return ImbalanceStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            max_over_mean: 1.0,
+        };
     }
     let min = *loads.iter().min().expect("non-empty");
     let max = *loads.iter().max().expect("non-empty");
     let n = loads.len() as f64;
     let mean = loads.iter().map(|&x| x as f64).sum::<f64>() / n;
-    let var = loads.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = loads
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let max_over_mean = if mean > 0.0 { max as f64 / mean } else { 1.0 };
-    ImbalanceStats { min, max, mean, std_dev: var.sqrt(), max_over_mean }
+    ImbalanceStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+        max_over_mean,
+    }
 }
 
 #[cfg(test)]

@@ -80,7 +80,11 @@ impl WeightedCluster {
 
     /// Normalised loads `l_i / s_i` (the quantity the balancer equalises).
     pub fn normalized_loads(&self) -> Vec<f64> {
-        self.loads.iter().zip(self.speeds.iter()).map(|(&l, &s)| l as f64 / s as f64).collect()
+        self.loads
+            .iter()
+            .zip(self.speeds.iter())
+            .map(|(&l, &s)| l as f64 / s as f64)
+            .collect()
     }
 
     /// max/mean of the normalised loads (1.0 = perfectly speed-balanced).
@@ -105,11 +109,13 @@ impl WeightedCluster {
         let n = self.params.n();
         let delta = self.params.delta();
         let mut members: Vec<usize> = vec![initiator];
-        members.extend(
-            sample(&mut self.rng, n - 1, delta)
-                .iter()
-                .map(|x| if x >= initiator { x + 1 } else { x }),
-        );
+        members.extend(sample(&mut self.rng, n - 1, delta).iter().map(|x| {
+            if x >= initiator {
+                x + 1
+            } else {
+                x
+            }
+        }));
         self.metrics.messages += members.len() as u64;
         let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
         let weights: Vec<u64> = members.iter().map(|&m| self.speeds[m]).collect();
@@ -227,7 +233,10 @@ mod tests {
         let loads = weighted.loads();
         assert_eq!(loads.iter().sum::<u64>(), 8 * 400);
         let spread = loads.iter().max().unwrap() - loads.iter().min().unwrap();
-        assert!(spread <= 8, "uniform speeds behave like the unweighted balancer: {loads:?}");
+        assert!(
+            spread <= 8,
+            "uniform speeds behave like the unweighted balancer: {loads:?}"
+        );
     }
 
     #[test]
@@ -246,7 +255,10 @@ mod tests {
             cluster.step(&events);
         }
         let m = cluster.metrics();
-        assert_eq!(cluster.loads().iter().sum::<u64>(), m.generated - m.consumed);
+        assert_eq!(
+            cluster.loads().iter().sum::<u64>(),
+            m.generated - m.consumed
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@ use dlb_experiments::report::{f3, render_table, write_csv};
 use dlb_net::{PartnerMode, TopoCluster, Topology};
 use dlb_workload::drive;
 
-fn quality<B: LoadBalancer>(make: impl Fn(u64) -> B, n: usize, steps: usize, runs: usize) -> (f64, f64, f64) {
+fn quality<B: LoadBalancer>(
+    make: impl Fn(u64) -> B,
+    n: usize,
+    steps: usize,
+    runs: usize,
+) -> (f64, f64, f64) {
     let mut ratio = 0.0;
     let mut samples = 0usize;
     let mut migrated = 0.0;
@@ -37,7 +42,11 @@ fn quality<B: LoadBalancer>(make: impl Fn(u64) -> B, n: usize, steps: usize, run
         migrated += balancer.metrics().packets_migrated as f64;
         ops += balancer.metrics().balance_ops as f64;
     }
-    (ratio / samples.max(1) as f64, migrated / runs as f64, ops / runs as f64)
+    (
+        ratio / samples.max(1) as f64,
+        migrated / runs as f64,
+        ops / runs as f64,
+    )
 }
 
 fn main() {
@@ -55,7 +64,10 @@ fn main() {
         rows.push(vec![label.to_string(), f3(ratio), f3(migrated), f3(ops)]);
     };
 
-    push("full / strict", quality(|s| Cluster::new(params, s), n, steps, runs));
+    push(
+        "full / strict",
+        quality(|s| Cluster::new(params, s), n, steps, runs),
+    );
     push(
         "full / aggressive",
         quality(
@@ -65,17 +77,30 @@ fn main() {
             runs,
         ),
     );
-    push("simple (raw loads)", quality(|s| SimpleCluster::new(params, s), n, steps, runs));
+    push(
+        "simple (raw loads)",
+        quality(|s| SimpleCluster::new(params, s), n, steps, runs),
+    );
 
     let w = (n as f64).sqrt() as usize;
     let torus = Topology::Torus2D { w, h: n / w };
     push(
         "topo: global partners",
-        quality(|s| TopoCluster::new(params, torus.clone(), PartnerMode::GlobalRandom, s), n, steps, runs),
+        quality(
+            |s| TopoCluster::new(params, torus.clone(), PartnerMode::GlobalRandom, s),
+            n,
+            steps,
+            runs,
+        ),
     );
     push(
         "topo: neighbours only",
-        quality(|s| TopoCluster::new(params, torus.clone(), PartnerMode::Neighbors, s), n, steps, runs),
+        quality(
+            |s| TopoCluster::new(params, torus.clone(), PartnerMode::Neighbors, s),
+            n,
+            steps,
+            runs,
+        ),
     );
 
     let headers = vec!["variant", "max/mean", "migrated/run", "ops/run"];
@@ -83,7 +108,10 @@ fn main() {
 
     // Hop-weighted cost of the locality choice.
     let mut hop_rows = Vec::new();
-    for (label, mode) in [("global", PartnerMode::GlobalRandom), ("neighbours", PartnerMode::Neighbors)] {
+    for (label, mode) in [
+        ("global", PartnerMode::GlobalRandom),
+        ("neighbours", PartnerMode::Neighbors),
+    ] {
         let trace = paper_trace(n, steps, 7000);
         let mut c = TopoCluster::new(params, torus.clone(), mode, 1);
         let mut replay = trace.replay();
@@ -97,7 +125,13 @@ fn main() {
         ]);
     }
     println!("Hop-weighted communication on the torus (single run):");
-    println!("{}", render_table(&["partners", "packets", "packet-hops", "hops/packet"], &hop_rows));
+    println!(
+        "{}",
+        render_table(
+            &["partners", "packets", "packet-hops", "hops/packet"],
+            &hop_rows
+        )
+    );
     println!("Expected shape: full and simple variants balance almost identically (the");
     println!("virtual classes exist for the proof); aggressive exchange ~= strict; the");
     println!("locality variant pays ~1 hop/packet but balances more slowly (diffusive).");

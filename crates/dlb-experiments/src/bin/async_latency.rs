@@ -61,8 +61,14 @@ fn main() {
             s.packets_moved.to_string(),
         ]);
     }
-    let headers =
-        vec!["latency", "max/mean", "completed ops", "aborted ops", "abort rate", "packets moved"];
+    let headers = vec![
+        "latency",
+        "max/mean",
+        "completed ops",
+        "aborted ops",
+        "abort rate",
+        "packets moved",
+    ];
     println!("{}", render_table(&headers, &rows));
 
     // Failure injection: control-message loss at fixed latency 4.
@@ -107,7 +113,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["loss", "max/mean", "completed ops", "lost msgs", "timeout recoveries"],
+            &[
+                "loss",
+                "max/mean",
+                "completed ops",
+                "lost msgs",
+                "timeout recoveries"
+            ],
             &loss_rows
         )
     );

@@ -21,12 +21,7 @@ struct Row {
     ops: f64,
 }
 
-fn measure<B: LoadBalancer>(
-    make: impl Fn(u64) -> B,
-    n: usize,
-    steps: usize,
-    runs: usize,
-) -> Row {
+fn measure<B: LoadBalancer>(make: impl Fn(u64) -> B, n: usize, steps: usize, runs: usize) -> Row {
     let mut max_over_mean = 0.0;
     let mut std_over_mean = 0.0;
     let mut migrated = 0.0;
@@ -84,13 +79,30 @@ fn main() {
         measure(|s| Rsu91::new(n, s), n, steps, runs),
         measure(|s| WorkStealing::new(n, s), n, steps, runs),
         measure(
-            |_| Gradient::new(Topology::Torus2D { w: torus_w, h: n / torus_w }, 2, 8),
+            |_| {
+                Gradient::new(
+                    Topology::Torus2D {
+                        w: torus_w,
+                        h: n / torus_w,
+                    },
+                    2,
+                    8,
+                )
+            },
             n,
             steps,
             runs,
         ),
         measure(
-            |_| Diffusion::new(Topology::Torus2D { w: torus_w, h: n / torus_w }, 0.2),
+            |_| {
+                Diffusion::new(
+                    Topology::Torus2D {
+                        w: torus_w,
+                        h: n / torus_w,
+                    },
+                    0.2,
+                )
+            },
             n,
             steps,
             runs,
@@ -121,7 +133,14 @@ fn main() {
             f3(row.ops),
         ]);
     }
-    let headers = vec!["config", "strategy", "max/mean", "std/mean", "migrated/run", "ops/run"];
+    let headers = vec![
+        "config",
+        "strategy",
+        "max/mean",
+        "std/mean",
+        "migrated/run",
+        "ops/run",
+    ];
     println!("{}", render_table(&headers, &rows));
     println!("Expected shape: spaa93 variants lowest max/mean and std/mean;");
     println!("random scatter: flat *expected* load but enormous std/mean (the §5 strawman);");

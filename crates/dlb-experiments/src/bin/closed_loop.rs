@@ -53,8 +53,7 @@ fn main() {
             mean_makespan(|s| SimpleCluster::new(params, s), &offspring, roots, runs);
         let (full_ms, _) = mean_makespan(|s| Cluster::new(params, s), &offspring, roots, runs);
         let (rsu_ms, _) = mean_makespan(|s| Rsu91::new(n, s), &offspring, roots, runs);
-        let (steal_ms, _) =
-            mean_makespan(|s| WorkStealing::new(n, s), &offspring, roots, runs);
+        let (steal_ms, _) = mean_makespan(|s| WorkStealing::new(n, s), &offspring, roots, runs);
         rows.push(vec![
             n.to_string(),
             f3(none_proc),

@@ -11,7 +11,9 @@ use dlb_core::Params;
 use dlb_experiments::args::Args;
 use dlb_experiments::report::{f3, render_table, write_csv};
 use dlb_theory::operators::fix;
-use dlb_theory::schedule::{contraction_rate, measured_convergence_steps, predicted_convergence_steps};
+use dlb_theory::schedule::{
+    contraction_rate, measured_convergence_steps, predicted_convergence_steps,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -49,8 +51,16 @@ fn main() {
             f3(empirical),
         ]);
     }
-    let headers =
-        vec!["n", "delta", "f", "|G'(FIX)|", "predicted t", "measured t", "FIX", "sim ratio"];
+    let headers = vec![
+        "n",
+        "delta",
+        "f",
+        "|G'(FIX)|",
+        "predicted t",
+        "measured t",
+        "FIX",
+        "sim ratio",
+    ];
     println!("{}", render_table(&headers, &rows));
     println!("Expected shape: predicted ≈ measured; the rate (and hence convergence");
     println!("time) is governed by delta and f, not by n — the paper's locality claim.");

@@ -46,7 +46,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["delta", "f", "procs", &format!("VD@t={}", steps / 10), &format!("VD@t={}", steps / 2), &format!("VD@t={steps}")],
+            &[
+                "delta",
+                "f",
+                "procs",
+                &format!("VD@t={}", steps / 10),
+                &format!("VD@t={}", steps / 2),
+                &format!("VD@t={steps}")
+            ],
             &rows
         )
     );
@@ -61,8 +68,10 @@ fn main() {
                 .map(|c| (format!("delta={d}"), c.vd.clone()))
         })
         .collect();
-    let series_refs: Vec<(&str, &[f64])> =
-        plot_series.iter().map(|(n, v)| (n.as_str(), v.as_slice())).collect();
+    let series_refs: Vec<(&str, &[f64])> = plot_series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_slice()))
+        .collect();
     println!("VD over balancing steps (f = 1.2, 35 processors):\n");
     println!("{}", ascii_plot(&series_refs, 12));
 
@@ -86,7 +95,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["delta", "f", "true VD", "relaxed VD", "error"], &relax_rows)
+        render_table(
+            &["delta", "f", "true VD", "relaxed VD", "error"],
+            &relax_rows
+        )
     );
 
     // Monte-Carlo cross-check of a few points.

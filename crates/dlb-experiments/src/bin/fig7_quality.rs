@@ -43,9 +43,7 @@ fn main() {
             ]);
         }
         // Plot mean/min/max, downsampled to 100 columns.
-        let ds = |v: &[f64]| -> Vec<f64> {
-            (0..100).map(|k| v[k * steps / 100]).collect()
-        };
+        let ds = |v: &[f64]| -> Vec<f64> { (0..100).map(|k| v[k * steps / 100]).collect() };
         let mean_s = ds(&q.mean);
         let min_s = ds(&q.min.iter().map(|&x| x as f64).collect::<Vec<_>>());
         let max_s = ds(&q.max.iter().map(|&x| x as f64).collect::<Vec<_>>());
@@ -54,7 +52,11 @@ fn main() {
             "{}",
             ascii_plot(&[("max", &max_s), ("mean", &mean_s), ("min", &min_s)], 12)
         );
-        for curve in [("mean", &q.mean), ("min", &q.min.iter().map(|&x| x as f64).collect::<Vec<_>>()), ("max", &q.max.iter().map(|&x| x as f64).collect::<Vec<_>>())] {
+        for curve in [
+            ("mean", &q.mean),
+            ("min", &q.min.iter().map(|&x| x as f64).collect::<Vec<_>>()),
+            ("max", &q.max.iter().map(|&x| x as f64).collect::<Vec<_>>()),
+        ] {
             svg_series.push(Series::from_ys(&format!("f={f} {}", curve.0), curve.1));
         }
         for &t in &[steps / 10, steps / 2, steps - 1] {
@@ -69,13 +71,18 @@ fn main() {
         }
     }
 
-    println!("{}", render_table(&["f", "t", "mean", "min", "max", "band"], &summary));
+    println!(
+        "{}",
+        render_table(&["f", "t", "mean", "min", "max", "band"], &summary)
+    );
     println!("Expected shape: a narrow band around the mean; f = 1.1 narrower than f = 1.8;");
     println!("delta = 4 (Figure 8) narrower than delta = 1 (Figure 7).");
     write_csv(&out, &["f", "t", "mean", "min", "max"], &csv_rows).expect("CSV written");
     let svg_path = out.replace(".csv", ".svg");
     let chart = ChartConfig {
-        title: format!("Figure {figure}: balancing quality, delta = {delta} ({n} procs, {runs} runs)"),
+        title: format!(
+            "Figure {figure}: balancing quality, delta = {delta} ({n} procs, {runs} runs)"
+        ),
         x_label: "time step".into(),
         y_label: "load per processor".into(),
         ..Default::default()

@@ -66,7 +66,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["f", "t", "grand mean", "mean spread", "min ever", "max ever"],
+            &[
+                "f",
+                "t",
+                "grand mean",
+                "mean spread",
+                "min ever",
+                "max ever"
+            ],
             &summary
         )
     );

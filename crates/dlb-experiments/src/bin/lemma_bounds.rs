@@ -49,8 +49,15 @@ fn main() {
             fmt(cb.lemma5_upper(x, c)),
         ]);
     }
-    let headers =
-        vec!["delta", "f", "c", "lemma5 lower", "measured", "lemma6 upper", "lemma5 upper"];
+    let headers = vec![
+        "delta",
+        "f",
+        "c",
+        "lemma5 lower",
+        "measured",
+        "lemma6 upper",
+        "lemma5 upper",
+    ];
     println!("{}", render_table(&headers, &rows));
     println!("Expected shape: lower <= measured <= upper; the Lemma 6 bound tighter than");
     println!("Lemma 5; cost very sensitive to f, nearly independent of delta and of x at");

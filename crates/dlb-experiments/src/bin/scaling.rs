@@ -13,7 +13,12 @@ use dlb_experiments::report::{f3, render_table, write_csv};
 use dlb_workload::drive;
 use std::time::Instant;
 
-fn run<B: LoadBalancer>(make: impl Fn(u64) -> B, n: usize, steps: usize, runs: usize) -> (f64, f64, f64) {
+fn run<B: LoadBalancer>(
+    make: impl Fn(u64) -> B,
+    n: usize,
+    steps: usize,
+    runs: usize,
+) -> (f64, f64, f64) {
     let mut ratio = 0.0;
     let mut samples = 0usize;
     let mut ops = 0.0;
@@ -34,7 +39,11 @@ fn run<B: LoadBalancer>(make: impl Fn(u64) -> B, n: usize, steps: usize, runs: u
         ops += balancer.metrics().balance_ops as f64;
     }
     let elapsed = start.elapsed().as_secs_f64();
-    (ratio / samples.max(1) as f64, ops / runs as f64, elapsed / (runs * steps) as f64 * 1e6)
+    (
+        ratio / samples.max(1) as f64,
+        ops / runs as f64,
+        elapsed / (runs * steps) as f64 * 1e6,
+    )
 }
 
 fn main() {

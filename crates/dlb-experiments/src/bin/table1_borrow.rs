@@ -46,7 +46,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["C", "total borrow", "remote borrow", "borrow fail", "decrease sim"],
+                &[
+                    "C",
+                    "total borrow",
+                    "remote borrow",
+                    "borrow fail",
+                    "decrease sim"
+                ],
                 &rows
             )
         );
@@ -55,7 +61,14 @@ fn main() {
     println!("remote borrow, borrow fail and decrease sim collapse as C grows.");
     write_csv(
         &out,
-        &["policy", "C", "total_borrow", "remote_borrow", "borrow_fail", "decrease_sim"],
+        &[
+            "policy",
+            "C",
+            "total_borrow",
+            "remote_borrow",
+            "borrow_fail",
+            "decrease_sim",
+        ],
         &csv_rows,
     )
     .expect("CSV written");

@@ -18,8 +18,14 @@ fn main() {
     let out: String = args.get("out", "results/thm4.csv".to_string());
     let checkpoints = [steps / 10, steps / 2, steps - 1];
 
-    let grid: Vec<(usize, f64, usize)> =
-        vec![(1, 1.1, 4), (1, 1.1, 32), (1, 1.8, 4), (4, 1.1, 4), (4, 1.8, 4), (2, 1.4, 8)];
+    let grid: Vec<(usize, f64, usize)> = vec![
+        (1, 1.1, 4),
+        (1, 1.1, 32),
+        (1, 1.8, 4),
+        (4, 1.1, 4),
+        (4, 1.8, 4),
+        (2, 1.4, 8),
+    ];
 
     let mut rows = Vec::new();
     for &(delta, f, c) in &grid {
@@ -36,7 +42,14 @@ fn main() {
         ]);
     }
 
-    let headers = vec!["delta", "f", "C", "f^2*d/(d+1-f)", "pairs checked", "violations"];
+    let headers = vec![
+        "delta",
+        "f",
+        "C",
+        "f^2*d/(d+1-f)",
+        "pairs checked",
+        "violations",
+    ];
     println!("Theorem 4: E(l_i) <= f^2*delta/(delta+1-f) * (E(l_j) + C)");
     println!("({n} processors, section-7 workload, {runs} runs, checkpoints {checkpoints:?})\n");
     println!("{}", render_table(&headers, &rows));

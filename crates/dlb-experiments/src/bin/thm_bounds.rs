@@ -47,7 +47,15 @@ fn main() {
     }
 
     let headers = vec![
-        "n", "delta", "f", "FIX", "lim(Thm2)", "FIX(1/f)", "lim(1/f)", "G^t(1)", "measured",
+        "n",
+        "delta",
+        "f",
+        "FIX",
+        "lim(Thm2)",
+        "FIX(1/f)",
+        "lim(1/f)",
+        "G^t(1)",
+        "measured",
     ];
     println!("Theorems 1-3: fixed points, limits and measured producer/other load ratio");
     println!("(measured: one-processor-generator model, {runs} runs x {ops} balancing ops)\n");

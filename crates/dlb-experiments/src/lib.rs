@@ -17,8 +17,10 @@
 //! | `baseline_compare`  | §1/§5 qualitative claims vs baselines            |
 //! | `scaling`           | "up to 1024 processors" scaling claim            |
 //! | `ablation`          | full vs simple variant, exchange policy, locality|
+//! | `faults_sweep`      | balance quality vs injected loss / crash rates   |
 
 pub mod args;
+pub mod faultsweep;
 pub mod quality;
 pub mod report;
 pub mod svg;

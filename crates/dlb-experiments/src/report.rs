@@ -39,8 +39,15 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// distinct glyphs, collisions show the later series).
 pub fn ascii_plot(series: &[(&str, &[f64])], height: usize) -> String {
     const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
-    assert!(!series.is_empty() && height >= 2, "need data and height >= 2");
-    let width = series.iter().map(|(_, s)| s.len()).max().expect("non-empty");
+    assert!(
+        !series.is_empty() && height >= 2,
+        "need data and height >= 2"
+    );
+    let width = series
+        .iter()
+        .map(|(_, s)| s.len())
+        .max()
+        .expect("non-empty");
     let lo = series
         .iter()
         .flat_map(|(_, s)| s.iter().copied())
@@ -49,7 +56,11 @@ pub fn ascii_plot(series: &[(&str, &[f64])], height: usize) -> String {
         .iter()
         .flat_map(|(_, s)| s.iter().copied())
         .fold(f64::NEG_INFINITY, f64::max);
-    let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+    let span = if (hi - lo).abs() < 1e-12 {
+        1.0
+    } else {
+        hi - lo
+    };
     let mut grid = vec![vec![' '; width]; height];
     for (k, (_, s)) in series.iter().enumerate() {
         let glyph = GLYPHS[k % GLYPHS.len()];

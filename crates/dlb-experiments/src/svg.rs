@@ -56,7 +56,9 @@ impl Default for ChartConfig {
     }
 }
 
-const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
 const MARGIN_L: f64 = 64.0;
 const MARGIN_R: f64 = 150.0;
 const MARGIN_T: f64 = 40.0;
@@ -82,8 +84,10 @@ pub fn escape(text: &str) -> String {
 ///
 /// Panics if no series contains any point.
 pub fn line_chart(config: &ChartConfig, series: &[Series]) -> String {
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "need at least one data point");
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -101,7 +105,11 @@ pub fn line_chart(config: &ChartConfig, series: &[Series]) -> String {
     }
     // Pad the y-range slightly and include zero when close.
     let pad = (y_max - y_min) * 0.05;
-    let y_lo = if y_min >= 0.0 && y_min < (y_max - y_min) * 0.5 { 0.0 } else { y_min - pad };
+    let y_lo = if y_min >= 0.0 && y_min < (y_max - y_min) * 0.5 {
+        0.0
+    } else {
+        y_min - pad
+    };
     let y_hi = y_max + pad;
 
     let (w, h) = (config.width as f64, config.height as f64);
@@ -274,7 +282,10 @@ mod tests {
 
     #[test]
     fn single_point_is_handled() {
-        let series = vec![Series { name: "dot".into(), points: vec![(3.0, 7.0)] }];
+        let series = vec![Series {
+            name: "dot".into(),
+            points: vec![(3.0, 7.0)],
+        }];
         let svg = line_chart(&basic_config(), &series);
         assert!(!svg.contains("NaN"));
     }
@@ -282,7 +293,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one data point")]
     fn empty_chart_panics() {
-        line_chart(&basic_config(), &[Series { name: "empty".into(), points: vec![] }]);
+        line_chart(
+            &basic_config(),
+            &[Series {
+                name: "empty".into(),
+                points: vec![],
+            }],
+        );
     }
 
     #[test]

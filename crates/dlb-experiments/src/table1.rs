@@ -34,8 +34,16 @@ pub fn table1_row(
     policy: ExchangePolicy,
     base_seed: u64,
 ) -> Table1Row {
-    let params = Params::new(n, 1, 1.1, c).expect("paper parameters valid").with_exchange(policy);
-    let mut acc = Table1Row { c, total_borrow: 0.0, remote_borrow: 0.0, borrow_fail: 0.0, decrease_sim: 0.0 };
+    let params = Params::new(n, 1, 1.1, c)
+        .expect("paper parameters valid")
+        .with_exchange(policy);
+    let mut acc = Table1Row {
+        c,
+        total_borrow: 0.0,
+        remote_borrow: 0.0,
+        borrow_fail: 0.0,
+        decrease_sim: 0.0,
+    };
     for r in 0..runs {
         let seed = base_seed.wrapping_add(r as u64);
         let trace = paper_trace(n, steps, seed);
@@ -72,9 +80,12 @@ mod tests {
             small_c.remote_borrow,
             large_c.remote_borrow
         );
-        let rel_diff = (large_c.total_borrow - small_c.total_borrow).abs()
-            / small_c.total_borrow.max(1.0);
-        assert!(rel_diff < 0.6, "total borrow roughly stable: {small_c:?} vs {large_c:?}");
+        let rel_diff =
+            (large_c.total_borrow - small_c.total_borrow).abs() / small_c.total_borrow.max(1.0);
+        assert!(
+            rel_diff < 0.6,
+            "total borrow roughly stable: {small_c:?} vs {large_c:?}"
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ pub fn figure6_curves(deltas: &[usize], fs: &[f64], procs: &[usize], steps: usiz
                 if delta > p {
                     continue;
                 }
-                out.push(VdCurve { delta, f, p, vd: vd_curve(p, delta, f, steps) });
+                out.push(VdCurve {
+                    delta,
+                    f,
+                    p,
+                    vd: vd_curve(p, delta, f, steps),
+                });
             }
         }
     }
@@ -57,7 +62,14 @@ pub fn figure6_curves(deltas: &[usize], fs: &[f64], procs: &[usize], steps: usiz
 
 /// Monte-Carlo check of one grid point: returns `(exact_vd, mc_vd)` after
 /// `steps` balancing operations.
-pub fn mc_crosscheck(delta: usize, f: f64, n: usize, steps: usize, runs: usize, seed: u64) -> (f64, f64) {
+pub fn mc_crosscheck(
+    delta: usize,
+    f: f64,
+    n: usize,
+    steps: usize,
+    runs: usize,
+    seed: u64,
+) -> (f64, f64) {
     let p = n - 1;
     let exact = vd_curve(p, delta, f, steps)[steps];
     let (_, _, _, mc) = monte_carlo(p, delta, f, steps, runs, seed, Selection::Subset);

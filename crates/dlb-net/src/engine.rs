@@ -113,7 +113,10 @@ impl TopoCluster {
                 if nbrs.len() <= delta {
                     nbrs
                 } else {
-                    sample(&mut self.rng, nbrs.len(), delta).iter().map(|i| nbrs[i]).collect()
+                    sample(&mut self.rng, nbrs.len(), delta)
+                        .iter()
+                        .map(|i| nbrs[i])
+                        .collect()
                 }
             }
         }
@@ -232,8 +235,15 @@ mod tests {
     fn complete_graph_packets_travel_one_hop() {
         let params = Params::paper_section7(8);
         let topo = Topology::Complete { n: 8 };
-        let c = run_gen(TopoCluster::new(params, topo, PartnerMode::GlobalRandom, 1), 200);
-        assert_eq!(c.comm().packet_hops, c.comm().packets, "all distances are 1");
+        let c = run_gen(
+            TopoCluster::new(params, topo, PartnerMode::GlobalRandom, 1),
+            200,
+        );
+        assert_eq!(
+            c.comm().packet_hops,
+            c.comm().packets,
+            "all distances are 1"
+        );
         assert!(c.comm().ops > 0);
     }
 
@@ -254,15 +264,20 @@ mod tests {
             TopoCluster::new(params, topo.clone(), PartnerMode::GlobalRandom, 2),
             400,
         );
-        let local =
-            run_one_producer(TopoCluster::new(params, topo, PartnerMode::Neighbors, 2), 400);
+        let local = run_one_producer(
+            TopoCluster::new(params, topo, PartnerMode::Neighbors, 2),
+            400,
+        );
         let g_per_packet = global.comm().packet_hops as f64 / global.comm().packets.max(1) as f64;
         let l_per_packet = local.comm().packet_hops as f64 / local.comm().packets.max(1) as f64;
         assert!(
             g_per_packet > l_per_packet,
             "global {g_per_packet} hops/packet vs neighbour {l_per_packet}"
         );
-        assert!((l_per_packet - 1.0).abs() < 1e-9, "neighbour packets travel 1 hop");
+        assert!(
+            (l_per_packet - 1.0).abs() < 1e-9,
+            "neighbour packets travel 1 hop"
+        );
     }
 
     #[test]
@@ -270,9 +285,10 @@ mod tests {
         // Locality tradeoff: neighbour-only balancing spreads work
         // diffusively (slower, cheaper links), global random spreads fast.
         let params = Params::new(16, 2, 1.3, 4).unwrap();
-        for (mode, bound) in
-            [(PartnerMode::GlobalRandom, 3.0), (PartnerMode::Neighbors, 10.0)]
-        {
+        for (mode, bound) in [
+            (PartnerMode::GlobalRandom, 3.0),
+            (PartnerMode::Neighbors, 10.0),
+        ] {
             let topo = Topology::Torus2D { w: 4, h: 4 };
             let cluster = run_one_producer(TopoCluster::new(params, topo, mode, 3), 3000);
             let stats = imbalance_stats(&cluster.loads());
@@ -288,7 +304,13 @@ mod tests {
         let topo = Topology::Torus2D { w: 3, h: 3 };
         let mut cluster = TopoCluster::new(params, topo, PartnerMode::Neighbors, 5);
         let events: Vec<LoadEvent> = (0..9)
-            .map(|i| if i % 2 == 0 { LoadEvent::Generate } else { LoadEvent::Consume })
+            .map(|i| {
+                if i % 2 == 0 {
+                    LoadEvent::Generate
+                } else {
+                    LoadEvent::Consume
+                }
+            })
             .collect();
         for _ in 0..500 {
             cluster.step(&events);
@@ -302,6 +324,11 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn size_mismatch_rejected() {
         let params = Params::paper_section7(8);
-        TopoCluster::new(params, Topology::Ring { n: 9 }, PartnerMode::GlobalRandom, 0);
+        TopoCluster::new(
+            params,
+            Topology::Ring { n: 9 },
+            PartnerMode::GlobalRandom,
+            0,
+        );
     }
 }

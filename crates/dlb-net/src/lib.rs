@@ -13,9 +13,13 @@
 //!   engine with hop-weighted communication accounting, including the
 //!   "balance with topology neighbours only" mode the paper lists as
 //!   future work (locality);
+//! * [`desim`] — an asynchronous discrete-event simulator of the §5
+//!   message protocol with latency, fault injection (`dlb-faults`) and a
+//!   hardened timeout/retry state machine;
 //! * [`runtime`] — a real threaded message-passing runtime: one OS thread
 //!   per processor, work packets in per-worker queues, balancing by the
-//!   paper's trigger rule, used by the branch-and-bound example;
+//!   paper's trigger rule, with injected crash/rejoin and queue
+//!   redistribution, used by the branch-and-bound example;
 //! * [`rng`] — deterministic per-entity ChaCha streams.
 
 pub mod desim;

@@ -248,7 +248,11 @@ mod tests {
         let t = Topology::DeBruijn { dim: 6 };
         assert_eq!(t.n(), 64);
         assert!(t.is_connected());
-        assert!(t.diameter() <= 6, "diameter {} should be <= dim", t.diameter());
+        assert!(
+            t.diameter() <= 6,
+            "diameter {} should be <= dim",
+            t.diameter()
+        );
     }
 
     #[test]
@@ -283,7 +287,14 @@ mod tests {
         ];
         for t in topos {
             assert!(t.is_connected(), "{t:?}");
-            assert_eq!(t.n(), if matches!(t, Topology::Hypercube { .. } | Topology::DeBruijn { .. }) { 8 } else { 9 });
+            assert_eq!(
+                t.n(),
+                if matches!(t, Topology::Hypercube { .. } | Topology::DeBruijn { .. }) {
+                    8
+                } else {
+                    9
+                }
+            );
         }
     }
 
@@ -294,7 +305,10 @@ mod tests {
         assert_eq!(t.neighbors(0), vec![1, 4], "corner has two neighbours");
         assert_eq!(t.distance(0, 3), 3, "no wrap along the row");
         let torus = Topology::Torus2D { w: 4, h: 3 };
-        assert!(t.diameter() > torus.diameter(), "grid diameter exceeds torus");
+        assert!(
+            t.diameter() > torus.diameter(),
+            "grid diameter exceeds torus"
+        );
     }
 
     #[test]

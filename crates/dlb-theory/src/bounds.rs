@@ -80,7 +80,11 @@ impl CostBounds {
         let d_f = delta as f64;
         let u = 1.0 / (f * (d_f + 1.0)) * (1.0 + f * d_f / fix(n, delta, 1.0 / f));
         let d = 1.0 / (f * (d_f + 1.0)) * (1.0 + d_f * f / fix(n, delta, f));
-        CostBounds { params: *params, u, d }
+        CostBounds {
+            params: *params,
+            u,
+            d,
+        }
     }
 
     /// `D_i = 1/(f(δ+1)) · (1 + δ·f / C^i(FIX(n, δ, f)))` (Lemma 6): the
@@ -244,7 +248,10 @@ mod tests {
         let upper = cb.lemma5_upper(100, 50).expect("upper bound defined");
         let improved = cb.lemma6_upper(100, 50, 10_000).expect("lemma 6 defined");
         assert!(lower <= upper, "lower {lower} <= upper {upper}");
-        assert!(improved <= upper, "lemma 6 ({improved}) improves on lemma 5 ({upper})");
+        assert!(
+            improved <= upper,
+            "lemma 6 ({improved}) improves on lemma 5 ({upper})"
+        );
         assert!(lower <= improved, "{lower} <= {improved}");
         // Hand-computed: t_low ≈ 3, t_up ≈ 9 for these parameters.
         assert!((2..=5).contains(&lower), "lower = {lower}");
@@ -282,11 +289,22 @@ mod tests {
     fn cost_sensitive_to_f_not_delta() {
         // §6: iteration count is very sensitive to f, nearly independent
         // of δ and n.
-        let up_f11 = CostBounds::for_params(&params(64, 1, 1.1)).lemma5_upper(100, 50).unwrap();
-        let up_f18 = CostBounds::for_params(&params(64, 2, 1.8)).lemma5_upper(100, 50).unwrap();
-        assert!(up_f18 < up_f11, "larger f needs fewer ops: {up_f18} < {up_f11}");
-        let up_d1 = CostBounds::for_params(&params(64, 2, 1.5)).lemma5_upper(100, 50).unwrap();
-        let up_d8 = CostBounds::for_params(&params(64, 8, 1.5)).lemma5_upper(100, 50).unwrap();
+        let up_f11 = CostBounds::for_params(&params(64, 1, 1.1))
+            .lemma5_upper(100, 50)
+            .unwrap();
+        let up_f18 = CostBounds::for_params(&params(64, 2, 1.8))
+            .lemma5_upper(100, 50)
+            .unwrap();
+        assert!(
+            up_f18 < up_f11,
+            "larger f needs fewer ops: {up_f18} < {up_f11}"
+        );
+        let up_d1 = CostBounds::for_params(&params(64, 2, 1.5))
+            .lemma5_upper(100, 50)
+            .unwrap();
+        let up_d8 = CostBounds::for_params(&params(64, 8, 1.5))
+            .lemma5_upper(100, 50)
+            .unwrap();
         let rel = (up_d1 as f64 - up_d8 as f64).abs() / up_d1 as f64;
         assert!(rel < 0.5, "delta has minor effect: {up_d1} vs {up_d8}");
     }

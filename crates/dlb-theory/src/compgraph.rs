@@ -40,7 +40,8 @@ pub struct CompGraph {
 impl CompGraph {
     /// Builds the graph for a given candidate sequence.
     pub fn from_candidates(candidates: Vec<usize>) -> Self {
-        let mut last_use: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut last_use: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
         let mut bow = Vec::with_capacity(candidates.len());
         for (step0, &c) in candidates.iter().enumerate() {
             let step = step0 + 1;
@@ -232,7 +233,10 @@ pub fn graph_monte_carlo(p: usize, f: f64, t: usize, runs: usize, seed: u64) -> 
         sumsq += vt * vt;
     }
     let mean = sum / runs as f64;
-    (mean, crate::moments::variation_density(sumsq / runs as f64, mean))
+    (
+        mean,
+        crate::moments::variation_density(sumsq / runs as f64, mean),
+    )
 }
 
 #[cfg(test)]
@@ -290,7 +294,9 @@ mod tests {
     fn refined_counts_sum_to_total() {
         // Σ_{i=0}^{t−1} n(t, u, i) = n(t, u).
         for &(t, u) in &[(4u32, 2u32), (5, 3), (6, 3)] {
-            let total: u64 = (0..t).map(|i| occupancy_count_refined_bruteforce(t, u, i)).sum();
+            let total: u64 = (0..t)
+                .map(|i| occupancy_count_refined_bruteforce(t, u, i))
+                .sum();
             assert_eq!(total as u128, occupancy_count(t, u).unwrap(), "t={t} u={u}");
         }
     }
@@ -303,7 +309,10 @@ mod tests {
             let choose = binomial(p as u64, u as u64).unwrap() as f64;
             let expected = count * choose / (p as f64).powi(t as i32);
             let got = occupancy_prob(t, u, p);
-            assert!((got - expected).abs() < 1e-12, "t={t} u={u} p={p}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "t={t} u={u} p={p}: {got} vs {expected}"
+            );
         }
     }
 
@@ -321,7 +330,11 @@ mod tests {
         let mut st = crate::moments::MomentState::balanced(p, 1, f, 1.0);
         st.advance(t);
         assert!((mean - st.m0).abs() / st.m0 < 0.02, "{mean} vs {}", st.m0);
-        assert!((vd - st.vd_generator()).abs() < 0.03, "{vd} vs {}", st.vd_generator());
+        assert!(
+            (vd - st.vd_generator()).abs() < 0.03,
+            "{vd} vs {}",
+            st.vd_generator()
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl MomentState {
     ///
     /// Panics if `delta` is 0 or exceeds `p`, or if `f < 1` or `v0 <= 0`.
     pub fn balanced(p: usize, delta: usize, f: f64, v0: f64) -> Self {
-        assert!(delta >= 1 && delta <= p, "need 1 <= delta <= p (got delta={delta}, p={p})");
+        assert!(
+            delta >= 1 && delta <= p,
+            "need 1 <= delta <= p (got delta={delta}, p={p})"
+        );
         assert!(f >= 1.0 && f.is_finite(), "need f >= 1 (got {f})");
         assert!(v0 > 0.0, "need a positive initial load (got {v0})");
         MomentState {
@@ -125,11 +128,9 @@ impl MomentState {
         // By candidate symmetry these are the same conditioned on any fixed
         // candidate being inside S (shown by expanding the conditional sums).
         let e_nu = (f * self.m0 + d * self.m1) / dp1;
-        let e_nu2 = (f * f * self.q00
-            + 2.0 * f * d * self.q01
-            + d * self.q11
-            + d * (d - 1.0) * self.q12)
-            / (dp1 * dp1);
+        let e_nu2 =
+            (f * f * self.q00 + 2.0 * f * d * self.q01 + d * self.q11 + d * (d - 1.0) * self.q12)
+                / (dp1 * dp1);
         // E[ν·w_c] for a candidate c outside S.
         let e_nu_out = (f * self.q01 + d * self.q12) / dp1;
 
@@ -217,12 +218,7 @@ pub fn vd_curve(p: usize, delta: usize, f: f64, steps: usize) -> Vec<f64> {
 /// §5 analysis extended to the one-processor-producer-consumer model.
 /// Entry `k` of the result is the candidate VD after the first `k` steps
 /// of `word`.
-pub fn vd_curve_schedule(
-    p: usize,
-    delta: usize,
-    f: f64,
-    word: &[crate::schedule::Op],
-) -> Vec<f64> {
+pub fn vd_curve_schedule(p: usize, delta: usize, f: f64, word: &[crate::schedule::Op]) -> Vec<f64> {
     let mut st = MomentState::balanced(p, delta, f, 1.0);
     let mut out = Vec::with_capacity(word.len() + 1);
     out.push(st.vd_candidate());
@@ -463,8 +459,12 @@ mod tests {
     fn ratio_reproduces_lemma1_operator_g() {
         // The mean ratio of the moment recursion must equal G^t(1) exactly,
         // for several (n, δ, f).
-        for &(n, delta, f) in &[(64usize, 1usize, 1.1f64), (64, 4, 1.8), (10, 2, 1.2), (35, 4, 1.2)]
-        {
+        for &(n, delta, f) in &[
+            (64usize, 1usize, 1.1f64),
+            (64, 4, 1.8),
+            (10, 2, 1.2),
+            (35, 4, 1.2),
+        ] {
             let params = AlgoParams::new(n, delta, f).unwrap();
             let mut st = MomentState::balanced(n - 1, delta, f, 1.0);
             for t in 1..=200 {
@@ -494,7 +494,11 @@ mod tests {
 
     #[test]
     fn moments_match_exhaustive_enumeration_delta2_and_3() {
-        for &(p, delta, f, steps) in &[(4usize, 2usize, 1.3f64, 5usize), (5, 2, 2.0, 4), (4, 3, 1.7, 5)] {
+        for &(p, delta, f, steps) in &[
+            (4usize, 2usize, 1.3f64, 5usize),
+            (5, 2, 2.0, 4),
+            (4, 3, 1.7, 5),
+        ] {
             let (em0, evd0, em1, evd1) = enumerate_exact(p, delta, f, steps);
             let mut st = MomentState::balanced(p, delta, f, 1.0);
             st.advance(steps);
@@ -513,15 +517,30 @@ mod tests {
         let (m0, vd0, m1, vd1) = monte_carlo(p, delta, f, steps, 40_000, 7, Selection::Subset);
         assert!((st.m0 - m0).abs() / st.m0 < 0.02, "m0 {} vs MC {m0}", st.m0);
         assert!((st.m1 - m1).abs() / st.m1 < 0.02, "m1 {} vs MC {m1}", st.m1);
-        assert!((st.vd_generator() - vd0).abs() < 0.03, "{} vs {vd0}", st.vd_generator());
-        assert!((st.vd_candidate() - vd1).abs() < 0.03, "{} vs {vd1}", st.vd_candidate());
+        assert!(
+            (st.vd_generator() - vd0).abs() < 0.03,
+            "{} vs {vd0}",
+            st.vd_generator()
+        );
+        assert!(
+            (st.vd_candidate() - vd1).abs() < 0.03,
+            "{} vs {vd1}",
+            st.vd_candidate()
+        );
     }
 
     #[test]
     fn figure6_variation_density_small_and_convergent() {
         // §5 / Figure 6: VD is small in general, converges quickly in t,
         // and can be bounded independent of network size.
-        for &(delta, f) in &[(1usize, 1.1f64), (1, 1.2), (2, 1.1), (2, 1.2), (4, 1.1), (4, 1.2)] {
+        for &(delta, f) in &[
+            (1usize, 1.1f64),
+            (1, 1.2),
+            (2, 1.1),
+            (2, 1.2),
+            (4, 1.1),
+            (4, 1.2),
+        ] {
             for p in [9usize, 34] {
                 let curve = vd_curve(p, delta, f, 150);
                 let last = curve[150];
@@ -541,7 +560,10 @@ mod tests {
         let vd1 = vd_curve(p, 1, f, 150)[150];
         let vd2 = vd_curve(p, 2, f, 150)[150];
         let vd4 = vd_curve(p, 4, f, 150)[150];
-        assert!(vd1 > vd2 && vd2 > vd4, "VD(δ=1)={vd1} > VD(δ=2)={vd2} > VD(δ=4)={vd4}");
+        assert!(
+            vd1 > vd2 && vd2 > vd4,
+            "VD(δ=1)={vd1} > VD(δ=2)={vd2} > VD(δ=4)={vd4}"
+        );
     }
 
     #[test]
@@ -563,8 +585,16 @@ mod tests {
         let (m0, vd0, m1, vd1) = monte_carlo(p, delta, f, steps, 40_000, 9, Selection::Relaxed);
         assert!((st.m0 - m0).abs() / st.m0 < 0.02, "m0 {} vs {m0}", st.m0);
         assert!((st.m1 - m1).abs() / st.m1 < 0.02, "m1 {} vs {m1}", st.m1);
-        assert!((st.vd_generator() - vd0).abs() < 0.03, "{} vs {vd0}", st.vd_generator());
-        assert!((st.vd_candidate() - vd1).abs() < 0.03, "{} vs {vd1}", st.vd_candidate());
+        assert!(
+            (st.vd_generator() - vd0).abs() < 0.03,
+            "{} vs {vd0}",
+            st.vd_generator()
+        );
+        assert!(
+            (st.vd_candidate() - vd1).abs() < 0.03,
+            "{} vs {vd1}",
+            st.vd_candidate()
+        );
     }
 
     #[test]
@@ -573,13 +603,7 @@ mod tests {
         // δ sub-ops is the δ=1 process with factor word (f, 1, 1, …).
         let (p, delta, f, steps) = (3usize, 2usize, 1.5f64, 3usize);
         let mut acc = Accum::default();
-        fn rec(
-            p: usize,
-            word: &[f64],
-            w0: f64,
-            w: &mut Vec<f64>,
-            acc: &mut Accum,
-        ) {
+        fn rec(p: usize, word: &[f64], w0: f64, w: &mut Vec<f64>, acc: &mut Accum) {
             if word.is_empty() {
                 acc.count += 1.0;
                 acc.sum0 += w0;
@@ -626,7 +650,10 @@ mod tests {
         // subset algorithm gives slightly different (typically lower) VD.
         let true_vd = vd_curve(34, 4, 1.2, 150)[150];
         let relaxed_vd = vd_curve_relaxed(34, 4, 1.2, 150)[150];
-        assert!((true_vd - relaxed_vd).abs() > 1e-4, "engines differ: {true_vd} vs {relaxed_vd}");
+        assert!(
+            (true_vd - relaxed_vd).abs() > 1e-4,
+            "engines differ: {true_vd} vs {relaxed_vd}"
+        );
         assert!(
             (true_vd - relaxed_vd).abs() < 0.3 * true_vd.max(relaxed_vd),
             "but not wildly: {true_vd} vs {relaxed_vd}"
@@ -661,7 +688,11 @@ mod tests {
                 st.step_shrink();
                 k = params.c(k);
             }
-            assert!((st.ratio() - k).abs() < 1e-9 * k, "step {i}: {} vs {k}", st.ratio());
+            assert!(
+                (st.ratio() - k).abs() < 1e-9 * k,
+                "step {i}: {} vs {k}",
+                st.ratio()
+            );
         }
         // Theorem 3: the ratio stayed inside [FIX(n,δ,1/f), FIX(n,δ,f)].
         assert!(st.ratio() >= params.fix_inv() - 1e-9);
@@ -671,8 +702,9 @@ mod tests {
     #[test]
     fn mixed_schedule_vd_matches_monte_carlo() {
         use crate::schedule::Op;
-        let word: Vec<Op> =
-            (0..30).map(|i| if i % 3 == 0 { Op::Shrink } else { Op::Grow }).collect();
+        let word: Vec<Op> = (0..30)
+            .map(|i| if i % 3 == 0 { Op::Shrink } else { Op::Grow })
+            .collect();
         let exact = vd_curve_schedule(10, 2, 1.3, &word);
         let (_, _, _, mc_vd) = monte_carlo_schedule(10, 2, 1.3, &word, 40_000, 13);
         let last = *exact.last().unwrap();
@@ -684,12 +716,15 @@ mod tests {
         use crate::schedule::Op;
         // Long alternating schedule: VD converges to a bounded oscillation
         // rather than growing (the §5 claim extended to consumption).
-        let word: Vec<Op> =
-            (0..400).map(|i| if i % 2 == 0 { Op::Grow } else { Op::Shrink }).collect();
+        let word: Vec<Op> = (0..400)
+            .map(|i| if i % 2 == 0 { Op::Grow } else { Op::Shrink })
+            .collect();
         let curve = vd_curve_schedule(34, 1, 1.2, &word);
-        let late_max =
-            curve[200..].iter().copied().fold(0.0f64, f64::max);
-        assert!(late_max < 0.5, "VD bounded under producer-consumer: {late_max}");
+        let late_max = curve[200..].iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            late_max < 0.5,
+            "VD bounded under producer-consumer: {late_max}"
+        );
         let drift = (curve[400] - curve[300]).abs();
         assert!(drift < 0.02, "converged oscillation: {drift}");
     }

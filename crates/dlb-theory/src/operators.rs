@@ -41,7 +41,10 @@ impl fmt::Display for ParamError {
                 *delta as f64 + 1.0
             ),
             ParamError::DeltaOutOfRange { delta, n } => {
-                write!(out, "neighbourhood size delta = {delta} must satisfy 1 <= delta < n = {n}")
+                write!(
+                    out,
+                    "neighbourhood size delta = {delta} must satisfy 1 <= delta < n = {n}"
+                )
             }
             ParamError::NetworkTooSmall { n } => {
                 write!(out, "network size n = {n} must be at least 2")
@@ -197,7 +200,10 @@ mod tests {
     fn param_validation() {
         assert!(AlgoParams::new(64, 1, 1.1).is_ok());
         assert!(AlgoParams::new(64, 4, 1.8).is_ok());
-        assert!(AlgoParams::new(64, 1, 2.0).is_err(), "f must be < delta + 1");
+        assert!(
+            AlgoParams::new(64, 1, 2.0).is_err(),
+            "f must be < delta + 1"
+        );
         assert!(AlgoParams::new(64, 1, 0.9).is_err(), "f must be >= 1");
         assert!(AlgoParams::new(64, 0, 1.1).is_err(), "delta >= 1");
         assert!(AlgoParams::new(64, 64, 1.1).is_err(), "delta < n");
@@ -286,12 +292,18 @@ mod tests {
                     continue;
                 }
                 let fx = fix(n, delta, f);
-                assert!(fx <= lim + 1e-9, "FIX({n},{delta},{f}) = {fx} > limit {lim}");
+                assert!(
+                    fx <= lim + 1e-9,
+                    "FIX({n},{delta},{f}) = {fx} > limit {lim}"
+                );
                 let gap = lim - fx;
                 assert!(gap <= prev_gap + 1e-12, "gap should shrink with n");
                 prev_gap = gap;
             }
-            assert!(prev_gap < 1e-2 * lim, "FIX approaches limit: gap {prev_gap}");
+            assert!(
+                prev_gap < 1e-2 * lim,
+                "FIX approaches limit: gap {prev_gap}"
+            );
         }
     }
 

@@ -104,9 +104,11 @@ mod tests {
 
     #[test]
     fn derivative_matches_finite_differences() {
-        for &(n, delta, f, k) in
-            &[(64usize, 1usize, 1.1f64, 1.0f64), (64, 4, 1.8, 2.5), (16, 2, 1.3, 0.8)]
-        {
+        for &(n, delta, f, k) in &[
+            (64usize, 1usize, 1.1f64, 1.0f64),
+            (64, 4, 1.8, 2.5),
+            (16, 2, 1.3, 0.8),
+        ] {
             let h = 1e-6;
             let numeric = (g_op(n, delta, f, k + h) - g_op(n, delta, f, k - h)) / (2.0 * h);
             let closed = g_derivative(n, delta, f, k);
@@ -121,7 +123,10 @@ mod tests {
     fn contraction_rate_below_one() {
         for &(n, delta, f) in &[(64usize, 1usize, 1.1f64), (64, 4, 1.8), (1024, 8, 2.0)] {
             let rate = contraction_rate(n, delta, f);
-            assert!(rate > 0.0 && rate < 1.0, "rate {rate} for ({n},{delta},{f})");
+            assert!(
+                rate > 0.0 && rate < 1.0,
+                "rate {rate} for ({n},{delta},{f})"
+            );
         }
     }
 
@@ -142,8 +147,9 @@ mod tests {
     #[test]
     fn theorem3_holds_for_alternating_words() {
         let p = params(64, 1, 1.1);
-        let word: Vec<Op> =
-            (0..500).map(|i| if i % 2 == 0 { Op::Grow } else { Op::Shrink }).collect();
+        let word: Vec<Op> = (0..500)
+            .map(|i| if i % 2 == 0 { Op::Grow } else { Op::Shrink })
+            .collect();
         assert!(theorem3_invariant_holds(&p, &word));
     }
 

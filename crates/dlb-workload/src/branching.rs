@@ -54,7 +54,11 @@ impl Offspring {
 
     /// Expected number of children.
     pub fn mean(&self) -> f64 {
-        self.probs.iter().enumerate().map(|(k, &p)| k as f64 * p).sum()
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| k as f64 * p)
+            .sum()
     }
 
     fn sample(&self, rng: &mut impl Rng) -> u32 {
@@ -122,7 +126,10 @@ pub fn run_branching<B: LoadBalancer + ?Sized>(
             // consume lands; the balancer's own `consumed` counter is the
             // ground truth.
             *b = if l > 0 {
-                BatchEvent { generate: offspring.sample(&mut rng), consume: 1 }
+                BatchEvent {
+                    generate: offspring.sample(&mut rng),
+                    consume: 1,
+                }
             } else {
                 BatchEvent::idle()
             };
@@ -210,7 +217,10 @@ mod tests {
 
         impl NoBalanceLocal {
             pub fn new(n: usize) -> Self {
-                NoBalanceLocal { loads: vec![0; n], metrics: Metrics::new() }
+                NoBalanceLocal {
+                    loads: vec![0; n],
+                    metrics: Metrics::new(),
+                }
             }
         }
 

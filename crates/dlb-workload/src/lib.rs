@@ -36,7 +36,11 @@ pub fn drive<B: LoadBalancer + ?Sized, W: Workload + ?Sized>(
     steps: usize,
     mut observe: impl FnMut(usize, &B),
 ) {
-    assert_eq!(balancer.n(), workload.n(), "balancer/workload size mismatch");
+    assert_eq!(
+        balancer.n(),
+        workload.n(),
+        "balancer/workload size mismatch"
+    );
     let mut events = Vec::with_capacity(balancer.n());
     for t in 0..steps {
         workload.events_at(t, &mut events);

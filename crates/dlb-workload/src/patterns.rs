@@ -47,8 +47,16 @@ pub struct UniformRandom {
 impl UniformRandom {
     /// `p_gen + p_con` must not exceed 1.
     pub fn new(n: usize, p_gen: f64, p_con: f64, seed: u64) -> Self {
-        assert!(p_gen >= 0.0 && p_con >= 0.0 && p_gen + p_con <= 1.0, "invalid probabilities");
-        UniformRandom { n, p_gen, p_con, rng: ChaCha8Rng::seed_from_u64(seed) }
+        assert!(
+            p_gen >= 0.0 && p_con >= 0.0 && p_gen + p_con <= 1.0,
+            "invalid probabilities"
+        );
+        UniformRandom {
+            n,
+            p_gen,
+            p_con,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -87,9 +95,26 @@ pub struct Bursty {
 
 impl Bursty {
     /// Alternating burst/quiet phases.
-    pub fn new(n: usize, burst_len: usize, quiet_len: usize, p_gen: f64, p_con: f64, seed: u64) -> Self {
-        assert!(burst_len > 0 && quiet_len > 0, "phase lengths must be positive");
-        Bursty { n, burst_len, quiet_len, p_gen, p_con, rng: ChaCha8Rng::seed_from_u64(seed) }
+    pub fn new(
+        n: usize,
+        burst_len: usize,
+        quiet_len: usize,
+        p_gen: f64,
+        p_con: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            burst_len > 0 && quiet_len > 0,
+            "phase lengths must be positive"
+        );
+        Bursty {
+            n,
+            burst_len,
+            quiet_len,
+            p_gen,
+            p_con,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     fn bursting(&self, t: usize) -> bool {
@@ -133,7 +158,12 @@ impl MovingHotspot {
     /// Hotspot advancing every `period > 0` steps.
     pub fn new(n: usize, period: usize, p_con: f64, seed: u64) -> Self {
         assert!(period > 0, "period must be positive");
-        MovingHotspot { n, period, p_con, rng: ChaCha8Rng::seed_from_u64(seed) }
+        MovingHotspot {
+            n,
+            period,
+            p_con,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Which processor is hot at step `t`.
@@ -190,7 +220,11 @@ impl Workload for ProducerConsumerSplit {
         let swapped = (t / self.swap_every) % 2 == 1;
         for i in 0..self.n {
             let first_half = i < self.n / 2;
-            out.push(if first_half != swapped { LoadEvent::Generate } else { LoadEvent::Consume });
+            out.push(if first_half != swapped {
+                LoadEvent::Generate
+            } else {
+                LoadEvent::Consume
+            });
         }
     }
 }
@@ -294,8 +328,24 @@ mod tests {
     fn split_swaps_roles() {
         let mut w = ProducerConsumerSplit::new(4, 3);
         let rows = collect(&mut w, 6);
-        assert_eq!(rows[0], vec![LoadEvent::Generate, LoadEvent::Generate, LoadEvent::Consume, LoadEvent::Consume]);
-        assert_eq!(rows[3], vec![LoadEvent::Consume, LoadEvent::Consume, LoadEvent::Generate, LoadEvent::Generate]);
+        assert_eq!(
+            rows[0],
+            vec![
+                LoadEvent::Generate,
+                LoadEvent::Generate,
+                LoadEvent::Consume,
+                LoadEvent::Consume
+            ]
+        );
+        assert_eq!(
+            rows[3],
+            vec![
+                LoadEvent::Consume,
+                LoadEvent::Consume,
+                LoadEvent::Generate,
+                LoadEvent::Generate
+            ]
+        );
     }
 
     #[test]

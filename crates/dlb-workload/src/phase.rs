@@ -17,10 +17,9 @@ use crate::Workload;
 use dlb_core::LoadEvent;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// Global configuration of the phase model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseConfig {
     /// Lower/upper bound of the per-phase generation probability.
     pub g: (f64, f64),
@@ -40,7 +39,11 @@ impl Default for PhaseConfig {
 impl PhaseConfig {
     /// The exact configuration of the paper's §7 experiments.
     pub fn paper_section7() -> Self {
-        PhaseConfig { g: (0.1, 0.9), c: (0.1, 0.7), len: (150, 400) }
+        PhaseConfig {
+            g: (0.1, 0.9),
+            c: (0.1, 0.7),
+            len: (150, 400),
+        }
     }
 
     /// Validates the bounds (probabilities in `[0, 1]`, ordered ranges,
@@ -61,7 +64,7 @@ impl PhaseConfig {
 }
 
 /// One phase of one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     /// Generation probability while the phase is active.
     pub g: f64,
@@ -122,7 +125,9 @@ impl PhaseWorkload {
     }
 
     fn active_phase(&self, i: usize, t: usize) -> Option<&Phase> {
-        self.schedules[i].iter().find(|p| p.start <= t && t <= p.end)
+        self.schedules[i]
+            .iter()
+            .find(|p| p.start <= t && t <= p.end)
     }
 }
 
@@ -202,7 +207,11 @@ mod tests {
     fn event_frequencies_match_probabilities() {
         // A single processor with one long phase: empirical generate rate
         // should approach g(1 − c) + g·c/2.
-        let cfg = PhaseConfig { g: (0.8, 0.8), c: (0.4, 0.4), len: (10_000, 10_000) };
+        let cfg = PhaseConfig {
+            g: (0.8, 0.8),
+            c: (0.4, 0.4),
+            len: (10_000, 10_000),
+        };
         let mut wl = PhaseWorkload::new(1, 10_000, cfg, 7);
         let mut gen = 0usize;
         let mut con = 0usize;
@@ -217,8 +226,14 @@ mod tests {
         }
         let g_rate = gen as f64 / 10_000.0;
         let c_rate = con as f64 / 10_000.0;
-        assert!((g_rate - (0.8 * 0.6 + 0.8 * 0.4 * 0.5)).abs() < 0.03, "gen {g_rate}");
-        assert!((c_rate - (0.4 * 0.2 + 0.8 * 0.4 * 0.5)).abs() < 0.03, "con {c_rate}");
+        assert!(
+            (g_rate - (0.8 * 0.6 + 0.8 * 0.4 * 0.5)).abs() < 0.03,
+            "gen {g_rate}"
+        );
+        assert!(
+            (c_rate - (0.4 * 0.2 + 0.8 * 0.4 * 0.5)).abs() < 0.03,
+            "con {c_rate}"
+        );
     }
 
     #[test]

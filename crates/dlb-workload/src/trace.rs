@@ -8,11 +8,11 @@
 
 use crate::Workload;
 use dlb_core::LoadEvent;
-use serde::{Deserialize, Serialize};
+use dlb_json::{Json, ToJson};
 
 /// A fully materialised event schedule: `events[t][i]` is processor `i`'s
 /// action at step `t`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventTrace {
     events: Vec<Vec<LoadEvent>>,
     n: usize,
@@ -43,12 +43,24 @@ impl EventTrace {
 
     /// Serialises to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialisation cannot fail")
+        Json::Obj(vec![
+            ("n".into(), self.n.to_json()),
+            ("events".into(), self.events.to_json()),
+        ])
+        .render()
     }
 
     /// Deserialises from JSON.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = Json::parse(text)?;
+        let n: usize = dlb_json::req(&value, "n")?;
+        let events: Vec<Vec<LoadEvent>> = dlb_json::req(&value, "events")?;
+        for (t, row) in events.iter().enumerate() {
+            if row.len() != n {
+                return Err(format!("step {t} has {} events, expected {n}", row.len()));
+            }
+        }
+        Ok(EventTrace { events, n })
     }
 
     /// A replaying [`Workload`] over this trace (idles past the end).

@@ -12,7 +12,10 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let latency: u64 = args.next().map(|a| a.parse().expect("latency")).unwrap_or(4);
+    let latency: u64 = args
+        .next()
+        .map(|a| a.parse().expect("latency"))
+        .unwrap_or(4);
     let loss: f64 = args.next().map(|a| a.parse().expect("loss")).unwrap_or(0.1);
 
     let n = 32;
@@ -54,5 +57,8 @@ fn main() {
     println!("  lost messages      {}", s.lost_messages);
     println!("  timeout recoveries {}", s.timeout_recoveries);
     println!("  packets moved      {}", s.packets_moved);
-    println!("\nconservation verified; all locks released: {}", net.locked_count() == 0);
+    println!(
+        "\nconservation verified; all locks released: {}",
+        net.locked_count() == 0
+    );
 }

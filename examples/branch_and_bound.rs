@@ -14,8 +14,14 @@ use dlb::bnb::Solver;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().map(|a| a.parse().expect("n_cities")).unwrap_or(13);
-    let workers: usize = args.next().map(|a| a.parse().expect("workers")).unwrap_or(8);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("n_cities"))
+        .unwrap_or(13);
+    let workers: usize = args
+        .next()
+        .map(|a| a.parse().expect("workers"))
+        .unwrap_or(8);
     assert!((2..=20).contains(&n), "n_cities in 2..=20");
 
     let tsp = Tsp::random(n, 12345);
@@ -28,8 +34,14 @@ fn main() {
     let found = outcome.best_value.expect("a tour always exists");
     let optimal = tsp.optimum_by_held_karp();
     println!("TSP with {n} cities on {workers} workers");
-    println!("optimal tour (Held-Karp verification): {:.3}", optimal as f64 / SCALE);
-    println!("B&B found:                             {:.3}", found as f64 / SCALE);
+    println!(
+        "optimal tour (Held-Karp verification): {:.3}",
+        optimal as f64 / SCALE
+    );
+    println!(
+        "B&B found:                             {:.3}",
+        found as f64 / SCALE
+    );
     assert_eq!(found, optimal, "branch & bound must find the optimum");
 
     println!("\nnodes expanded: {}", outcome.expanded);

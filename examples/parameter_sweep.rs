@@ -5,8 +5,8 @@
 //!     cargo run --release --example parameter_sweep
 
 use dlb::core::{imbalance_stats, Cluster, LoadBalancer, Params};
-use dlb::workload::phase::{PhaseConfig, PhaseWorkload};
 use dlb::workload::drive;
+use dlb::workload::phase::{PhaseConfig, PhaseWorkload};
 
 struct Outcome {
     ratio: f64,
@@ -23,7 +23,8 @@ fn run(params: Params, runs: u64) -> Outcome {
     let mut remote = 0;
     for r in 0..runs {
         let mut cluster = Cluster::new(params, 1000 + r);
-        let mut workload = PhaseWorkload::new(params.n(), 500, PhaseConfig::paper_section7(), 2000 + r);
+        let mut workload =
+            PhaseWorkload::new(params.n(), 500, PhaseConfig::paper_section7(), 2000 + r);
         drive(&mut cluster, &mut workload, 500, |t, c| {
             if t >= 100 && t % 20 == 0 {
                 let stats = imbalance_stats(&c.loads());

@@ -4,8 +4,8 @@
 //!     cargo run --release --example quickstart
 
 use dlb::core::{imbalance_stats, Cluster, LoadBalancer, Params};
-use dlb::workload::phase::PhaseWorkload;
 use dlb::workload::drive;
+use dlb::workload::phase::PhaseWorkload;
 
 fn main() {
     // 64 processors, δ = 1 random partner per balancing, trigger factor
@@ -37,6 +37,8 @@ fn main() {
 
     println!("\nworst max/mean ratio observed (mean >= 5): {worst_ratio:.3}");
     println!("\nalgorithm activity:\n{}", cluster.metrics());
-    cluster.check_invariants().expect("all structural invariants hold");
+    cluster
+        .check_invariants()
+        .expect("all structural invariants hold");
     println!("\nall invariants verified.");
 }

@@ -7,8 +7,8 @@
 
 use dlb::core::{imbalance_stats, LoadBalancer, Params};
 use dlb::net::{PartnerMode, TopoCluster, Topology};
-use dlb::workload::phase::{PhaseConfig, PhaseWorkload};
 use dlb::workload::drive;
+use dlb::workload::phase::{PhaseConfig, PhaseWorkload};
 
 fn run(topology: Topology, mode: PartnerMode) -> (f64, f64, u32) {
     let n = topology.n();

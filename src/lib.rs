@@ -8,7 +8,11 @@
 //!   practical variant, one-processor models).
 //! * [`theory`] — operators, fixed points, theorem and cost bounds,
 //!   variation-density engines.
-//! * [`net`] — topologies, synchronous network simulator, threaded runtime.
+//! * [`net`] — topologies, synchronous and asynchronous network
+//!   simulators, threaded runtime.
+//! * [`faults`] — seeded deterministic fault plans and injection
+//!   (message loss, duplication, jitter, crashes, partitions).
+//! * [`json`] — the dependency-free JSON layer the tools serialise with.
 //! * [`workload`] — load-pattern generators including the paper's §7 model.
 //! * [`baselines`] — comparison balancers.
 //! * [`bnb`] — parallel best-first branch & bound on the balancing
@@ -32,6 +36,8 @@
 pub use dlb_baselines as baselines;
 pub use dlb_bnb as bnb;
 pub use dlb_core as core;
+pub use dlb_faults as faults;
+pub use dlb_json as json;
 pub use dlb_net as net;
 pub use dlb_theory as theory;
 pub use dlb_workload as workload;

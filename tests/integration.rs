@@ -27,10 +27,15 @@ fn paper_section7_end_to_end() {
             }
         }
     });
-    cluster.check_invariants().expect("invariants hold after 500 steps");
+    cluster
+        .check_invariants()
+        .expect("invariants hold after 500 steps");
     assert!(!late_ratios.is_empty());
     let mean_ratio = late_ratios.iter().sum::<f64>() / late_ratios.len() as f64;
-    assert!(mean_ratio < 1.5, "well balanced: mean max/mean = {mean_ratio}");
+    assert!(
+        mean_ratio < 1.5,
+        "well balanced: mean max/mean = {mean_ratio}"
+    );
     assert_eq!(cluster.metrics().consume_failed, 0);
 }
 
@@ -86,9 +91,15 @@ fn strategies_on_identical_trace() {
 
     full.check_invariants().expect("full invariants");
     assert!(r_full < r_rsu, "full ({r_full}) beats rsu91 ({r_rsu})");
-    assert!(r_full < r_scatter, "full ({r_full}) beats scatter ({r_scatter})");
+    assert!(
+        r_full < r_scatter,
+        "full ({r_full}) beats scatter ({r_scatter})"
+    );
     assert!(r_full < r_none, "full ({r_full}) beats none ({r_none})");
-    assert!(r_simple < r_none, "simple ({r_simple}) beats none ({r_none})");
+    assert!(
+        r_simple < r_none,
+        "simple ({r_simple}) beats none ({r_none})"
+    );
 }
 
 /// Theorem 4's bound holds for expected loads estimated over runs, for an
@@ -159,7 +170,9 @@ fn aggressive_policy_end_to_end() {
         8,
     );
     drive(&mut cluster, &mut workload, 400, |_, _| {});
-    cluster.check_invariants().expect("aggressive policy keeps ledger");
+    cluster
+        .check_invariants()
+        .expect("aggressive policy keeps ledger");
 }
 
 /// The topology engine and the plain simple cluster implement the same
@@ -173,8 +186,12 @@ fn topo_complete_matches_simple_shape() {
     let trace = EventTrace::record(&mut wl, 2000);
 
     let mut simple = SimpleCluster::new(params, 3);
-    let mut topo =
-        TopoCluster::new(params, Topology::Complete { n }, PartnerMode::GlobalRandom, 3);
+    let mut topo = TopoCluster::new(
+        params,
+        Topology::Complete { n },
+        PartnerMode::GlobalRandom,
+        3,
+    );
     let mut events = Vec::new();
     let mut replay = trace.replay();
     for t in 0..2000 {
@@ -199,7 +216,10 @@ fn branch_and_bound_applications_end_to_end() {
     let solver = Solver::with_workers(4);
 
     let tsp = Tsp::random(11, 2);
-    assert_eq!(solver.solve(&tsp).best_value, Some(tsp.optimum_by_held_karp()));
+    assert_eq!(
+        solver.solve(&tsp).best_value,
+        Some(tsp.optimum_by_held_karp())
+    );
 
     let ks = Knapsack::random(17, 35, 3);
     assert_eq!(solver.solve(&ks).best_value, Some(ks.optimum_by_dp()));
@@ -226,8 +246,9 @@ fn async_low_latency_matches_sync_quality() {
     let mut async_ratio = 0.0;
     let mut samples = 0usize;
     for t in 0..3_000u64 {
-        let actions: Vec<i8> =
-            (0..n).map(|_| if rng.gen_bool(0.6) { 1 } else { -1 }).collect();
+        let actions: Vec<i8> = (0..n)
+            .map(|_| if rng.gen_bool(0.6) { 1 } else { -1 })
+            .collect();
         net.tick(t, &actions);
         if t >= 1_000 && t % 50 == 0 {
             let stats = imbalance_stats(&net.loads());
@@ -286,7 +307,11 @@ fn weighted_balancer_tracks_speeds() {
     for _ in 0..4_000 {
         cluster.step(&events);
     }
-    assert!(cluster.normalized_imbalance() < 1.5, "{:?}", cluster.normalized_loads());
+    assert!(
+        cluster.normalized_imbalance() < 1.5,
+        "{:?}",
+        cluster.normalized_loads()
+    );
     let loads = cluster.loads();
     assert!(loads[4] + loads[5] > 3 * (loads[0] + loads[1]), "{loads:?}");
 }
@@ -304,7 +329,9 @@ fn full_stack_determinism() {
             6,
         );
         let mut trail = Vec::new();
-        drive(&mut cluster, &mut workload, 200, |_, c| trail.push(c.loads()));
+        drive(&mut cluster, &mut workload, 200, |_, c| {
+            trail.push(c.loads())
+        });
         trail
     };
     assert_eq!(run(), run());

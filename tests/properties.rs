@@ -5,6 +5,7 @@
 use dlb::core::balance::{distribute_capped, distribute_classes, even_shares, spread};
 use dlb::core::batch::{step_batch, BatchEvent};
 use dlb::core::{Cluster, ExchangePolicy, LoadBalancer, LoadEvent, Params};
+use dlb::faults::{CrashEvent, CrashMode, FaultPlan, PartitionEvent};
 use dlb::net::{AsyncConfig, AsyncNetwork};
 use dlb::theory::operators::{fix, fix_limit, g_op};
 use proptest::prelude::*;
@@ -196,6 +197,97 @@ proptest! {
         prop_assert!(net.check_conservation().is_ok(), "{:?}", net.check_conservation());
         prop_assert_eq!(net.locked_count(), 0);
         prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Extended conservation — `Σ loads + pooled + in_flight + lost =
+    /// generated − consumed` — holds after every tick for *arbitrary*
+    /// fault plans (loss on both message classes, duplication, jitter,
+    /// crashes in both modes, partitions), and quiescence releases every
+    /// lock and drains every message.
+    #[test]
+    fn arbitrary_fault_plans_conserve_and_unlock(
+        seed in 0u64..200,
+        fault_seed in 0u64..1000,
+        latency in 1u64..8,
+        loss_pct in 0u32..40,
+        transfer_pct in 0u32..40,
+        dup_pct in 0u32..30,
+        jitter in 0u64..6,
+        frozen in any::<bool>(),
+        crashes_raw in prop::collection::vec((0u32..6, 0u64..150, 0u64..150), 0..3),
+        partition_raw in prop::collection::vec((0u64..120, 1u64..80, 1u32..63), 0..2),
+        rows in prop::collection::vec(prop::collection::vec(-1i8..=1, 6), 5..50),
+    ) {
+        let n = 6;
+        let params = Params::new(n, 2, 1.3, 4).unwrap();
+        let plan = FaultPlan {
+            seed: fault_seed,
+            loss: loss_pct as f64 / 100.0,
+            transfer_loss: transfer_pct as f64 / 100.0,
+            duplication: dup_pct as f64 / 100.0,
+            jitter,
+            crash_mode: if frozen { CrashMode::Frozen } else { CrashMode::Lost },
+            // recover offset 0 encodes "never recovers".
+            crashes: crashes_raw
+                .iter()
+                .map(|&(proc, at, rec)| CrashEvent {
+                    proc: proc as usize,
+                    at,
+                    recover_at: (rec > 0).then_some(at + rec),
+                })
+                .collect(),
+            partitions: partition_raw
+                .iter()
+                .map(|&(from, dur, bits)| PartitionEvent {
+                    from,
+                    until: from + dur,
+                    group: (0..n).filter(|&p| bits >> p & 1 == 1).collect(),
+                })
+                .collect(),
+        };
+        prop_assume!(plan.validate(n).is_ok());
+        let cfg = AsyncConfig::reliable(params, latency, seed);
+        let mut net = AsyncNetwork::with_faults(cfg, plan).unwrap();
+        for (t, row) in rows.iter().enumerate() {
+            net.tick(t as u64, row);
+            prop_assert!(net.check_conservation().is_ok(),
+                "at tick {}: {:?}", t, net.check_conservation());
+        }
+        net.quiesce();
+        prop_assert!(net.check_conservation().is_ok(), "{:?}", net.check_conservation());
+        prop_assert_eq!(net.locked_count(), 0, "leaked lock after quiescence");
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// The synchronous cluster under an arbitrary crash mask conserves
+    /// load and freezes exactly the masked processors.
+    #[test]
+    fn masked_sync_cluster_conserves(
+        seed in 0u64..200,
+        mask_bits in 0u32..63,
+        rows in prop::collection::vec(prop::collection::vec(0u8..3, 6), 5..60),
+    ) {
+        let n = 6;
+        let params = Params::paper_section7(n);
+        let mut cluster = dlb::core::SimpleCluster::with_initial_load(params, seed, 20);
+        let down: Vec<bool> = (0..n).map(|p| mask_bits >> p & 1 == 1).collect();
+        let frozen_loads: Vec<(usize, u64)> =
+            (0..n).filter(|&p| down[p]).map(|p| (p, cluster.load(p))).collect();
+        for row in &rows {
+            let events: Vec<LoadEvent> = row
+                .iter()
+                .map(|&c| match c {
+                    0 => LoadEvent::Generate,
+                    1 => LoadEvent::Consume,
+                    _ => LoadEvent::Idle,
+                })
+                .collect();
+            cluster.step_masked(&events, &down);
+        }
+        prop_assert!(cluster.check_invariants().is_ok());
+        for (p, load) in frozen_loads {
+            prop_assert_eq!(cluster.load(p), load, "down processor {} drifted", p);
+        }
     }
 
     /// §2's batch decomposition: total generation equals the batch sum,

@@ -10,7 +10,12 @@ fn heavy_dynamic_tree_conserves_and_balances() {
     // Irregular tree: nodes spawn 0–3 children depending on a hash of
     // their id, with real per-node work.
     let spawned = AtomicU64::new(1);
-    let config = RuntimeConfig { workers: 6, delta: 2, f: 1.4, seed: 5 };
+    let config = RuntimeConfig {
+        workers: 6,
+        delta: 2,
+        f: 1.4,
+        seed: 5,
+    };
     let stats = ThreadedRuntime::run(config, vec![(0u64, 14u32)], |_, (id, depth), out| {
         let mut acc = id;
         for i in 0..2_000u64 {
@@ -32,7 +37,12 @@ fn heavy_dynamic_tree_conserves_and_balances() {
 #[test]
 fn work_conservation_with_many_workers() {
     for workers in [2usize, 4, 12] {
-        let config = RuntimeConfig { workers, delta: 1, f: 1.5, seed: 7 };
+        let config = RuntimeConfig {
+            workers,
+            delta: 1,
+            f: 1.5,
+            seed: 7,
+        };
         let counter = AtomicU64::new(0);
         let stats = ThreadedRuntime::run(config, (0..500u32).collect(), |_, _, _| {
             counter.fetch_add(1, Ordering::Relaxed);
@@ -45,7 +55,12 @@ fn work_conservation_with_many_workers() {
 
 #[test]
 fn large_flat_batch_is_spread_evenly() {
-    let config = RuntimeConfig { workers: 8, delta: 2, f: 1.3, seed: 11 };
+    let config = RuntimeConfig {
+        workers: 8,
+        delta: 2,
+        f: 1.3,
+        seed: 11,
+    };
     let stats = ThreadedRuntime::run(config, (0..8_000u32).collect(), |_, x, _| {
         let mut acc = x as u64;
         for i in 0..1_000u64 {
@@ -71,7 +86,12 @@ fn producer_consumer_chain() {
     // A linear chain (each packet spawns exactly one successor) is the
     // worst case for balancing: only one packet exists at a time, so the
     // run must still terminate promptly and correctly.
-    let config = RuntimeConfig { workers: 4, delta: 1, f: 1.2, seed: 3 };
+    let config = RuntimeConfig {
+        workers: 4,
+        delta: 1,
+        f: 1.2,
+        seed: 3,
+    };
     let stats = ThreadedRuntime::run(config, vec![2_000u32], |_, n, out| {
         if n > 0 {
             out.push(n - 1);

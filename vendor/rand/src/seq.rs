@@ -1,0 +1,140 @@
+//! Sequence-related helpers: random index subsets and slice utilities.
+
+use crate::{Rng, RngCore};
+
+/// Random index sampling (subset of `rand::seq::index`).
+pub mod index {
+    use super::*;
+
+    /// An owned collection of distinct indices in `[0, length)`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Iterates the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True when no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `[0, length)`
+    /// (Floyd's algorithm; O(amount²) membership tests, fine for the
+    /// small δ-sized draws this workspace performs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} from {length}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(amount);
+        for j in (length - amount)..length {
+            let t = rng.gen_range(0..=j);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        IndexVec(chosen)
+    }
+}
+
+/// Random slice operations (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn sample_yields_distinct_in_range() {
+        let mut rng = Lcg(5);
+        for _ in 0..200 {
+            let v = index::sample(&mut rng, 7, 3).into_vec();
+            assert_eq!(v.len(), 3);
+            let mut s = v.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 3, "distinct: {v:?}");
+            assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn sample_full_population() {
+        let mut rng = Lcg(9);
+        let mut v = index::sample(&mut rng, 4, 4).into_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = Lcg(2);
+        let mut xs = [1, 2, 3, 4, 5];
+        assert!(xs.choose(&mut rng).is_some());
+        let orig = xs;
+        xs.shuffle(&mut rng);
+        let mut sorted = xs;
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

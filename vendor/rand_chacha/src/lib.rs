@@ -1,0 +1,198 @@
+//! Offline vendored ChaCha8-based generator.
+//!
+//! Implements the ChaCha stream cipher core (8 rounds) as an RNG exposing
+//! the slice of the `rand_chacha` 0.3 API this workspace uses:
+//! [`ChaCha8Rng`] with `from_seed`/`seed_from_u64`, `get_seed`,
+//! `get_word_pos`/`set_word_pos` (for snapshot/restore), plus `RngCore`.
+//! Output streams are deterministic per seed and position but are **not**
+//! guaranteed bit-compatible with crates.io `rand_chacha`; the workspace
+//! only relies on internal reproducibility.
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: u128 = 16;
+
+/// A deterministic, seekable random generator over the ChaCha8 keystream.
+#[derive(Clone)]
+pub struct ChaCha8Rng {
+    seed: [u8; 32],
+    /// Absolute index (in 32-bit words) of the next word to emit.
+    word_pos: u128,
+    /// Keystream block currently buffered, if any.
+    buf: [u32; 16],
+    /// Block number `buf` holds; `u64::MAX` sentinel would collide with a
+    /// real block, so track validity separately.
+    buf_block: u64,
+    buf_valid: bool,
+}
+
+impl ChaCha8Rng {
+    /// Returns the 32-byte seed this generator was built from.
+    pub fn get_seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// Absolute position in the keystream, measured in 32-bit words.
+    pub fn get_word_pos(&self) -> u128 {
+        self.word_pos
+    }
+
+    /// Seeks to an absolute keystream position (in 32-bit words).
+    pub fn set_word_pos(&mut self, word_pos: u128) {
+        self.word_pos = word_pos;
+        self.buf_valid = false;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        let block = (self.word_pos / WORDS_PER_BLOCK) as u64;
+        if !self.buf_valid || self.buf_block != block {
+            self.buf = chacha8_block(&self.seed, block);
+            self.buf_block = block;
+            self.buf_valid = true;
+        }
+        let word = self.buf[(self.word_pos % WORDS_PER_BLOCK) as usize];
+        self.word_pos = self.word_pos.wrapping_add(1);
+        word
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        ChaCha8Rng {
+            seed,
+            word_pos: 0,
+            buf: [0; 16],
+            buf_block: 0,
+            buf_valid: false,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl core::fmt::Debug for ChaCha8Rng {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ChaCha8Rng")
+            .field("seed", &self.seed)
+            .field("word_pos", &self.word_pos)
+            .finish()
+    }
+}
+
+impl PartialEq for ChaCha8Rng {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.word_pos == other.word_pos
+    }
+}
+
+impl Eq for ChaCha8Rng {}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One 64-byte ChaCha8 keystream block for `seed` at `block` (64-bit
+/// counter in words 12–13, zero nonce).
+fn chacha8_block(seed: &[u8; 32], block: u64) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            seed[4 * i],
+            seed[4 * i + 1],
+            seed[4 * i + 2],
+            seed[4 * i + 3],
+        ]);
+    }
+    state[12] = block as u32;
+    state[13] = (block >> 32) as u32;
+    let input = state;
+    for _ in 0..4 {
+        // double round: column then diagonal quarter rounds
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(input.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn word_pos_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..37 {
+            rng.next_u32();
+        }
+        let pos = rng.get_word_pos();
+        assert_eq!(pos, 37);
+        let expected: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        let mut replay = ChaCha8Rng::from_seed(rng.get_seed());
+        replay.set_word_pos(pos);
+        let got: Vec<u64> = (0..10).map(|_| replay.next_u64()).collect();
+        assert_eq!(expected, got);
+        assert_eq!(rng, replay);
+    }
+
+    #[test]
+    fn blocks_differ() {
+        let seed = [9u8; 32];
+        assert_ne!(chacha8_block(&seed, 0), chacha8_block(&seed, 1));
+    }
+
+    #[test]
+    fn output_looks_mixed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut ones = 0u32;
+        for _ in 0..64 {
+            ones += rng.next_u32().count_ones();
+        }
+        // 2048 bits total; expect roughly half set.
+        assert!((800..1250).contains(&ones), "popcount {ones}");
+    }
+}
