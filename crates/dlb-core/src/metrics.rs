@@ -87,6 +87,20 @@ macro_rules! metrics_fields {
     };
 }
 
+impl Metrics {
+    /// Every counter's field name, in declaration order (generated from
+    /// the same `metrics_fields!` list as the JSON and Display impls, so
+    /// it cannot drift from the struct).
+    pub const FIELD_NAMES: &'static [&'static str] = {
+        macro_rules! names {
+            ($($field:ident),*) => {
+                &[$(stringify!($field)),*]
+            };
+        }
+        metrics_fields!(names)
+    };
+}
+
 impl ToJson for Metrics {
     fn to_json(&self) -> Json {
         macro_rules! emit {
@@ -129,18 +143,25 @@ impl AddAssign for Metrics {
 }
 
 impl fmt::Display for Metrics {
+    /// One `name value` line per counter — every `metrics_fields!` entry,
+    /// so new counters can never be silently dropped from the printout
+    /// (`markers_migrated`, `markers_settled`, `consume_blocked` and
+    /// `consume_failed` used to be).
     fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(out, "balance ops        {:>12}", self.balance_ops)?;
-        writeln!(out, "class balance ops  {:>12}", self.class_balance_ops)?;
-        writeln!(out, "packets migrated   {:>12}", self.packets_migrated)?;
-        writeln!(out, "markers migrated   {:>12}", self.markers_migrated)?;
-        writeln!(out, "total borrow       {:>12}", self.total_borrow)?;
-        writeln!(out, "remote borrow      {:>12}", self.remote_borrow)?;
-        writeln!(out, "borrow fail        {:>12}", self.borrow_fail)?;
-        writeln!(out, "decrease sim       {:>12}", self.decrease_sim)?;
-        writeln!(out, "generated          {:>12}", self.generated)?;
-        writeln!(out, "consumed           {:>12}", self.consumed)?;
-        write!(out, "messages           {:>12}", self.messages)
+        macro_rules! rows {
+            ($($field:ident),*) => {
+                [$((stringify!($field), self.$field)),*]
+            };
+        }
+        let rows = metrics_fields!(rows);
+        for (i, (name, value)) in rows.iter().enumerate() {
+            let label = name.replace('_', " ");
+            if i > 0 {
+                writeln!(out)?;
+            }
+            write!(out, "{label:<18} {value:>12}")?;
+        }
+        Ok(())
     }
 }
 
@@ -195,15 +216,16 @@ mod tests {
     }
 
     #[test]
-    fn display_mentions_table1_counters() {
+    fn display_mentions_every_counter() {
+        // Regression: Display used to drop markers_migrated,
+        // markers_settled, consume_blocked and consume_failed.  Every
+        // field of `metrics_fields!` must appear.
         let text = Metrics::new().to_string();
-        for key in [
-            "total borrow",
-            "remote borrow",
-            "borrow fail",
-            "decrease sim",
-        ] {
-            assert!(text.contains(key), "{key} missing from {text}");
+        assert_eq!(Metrics::FIELD_NAMES.len(), 14, "update on field change");
+        for name in Metrics::FIELD_NAMES {
+            let label = name.replace('_', " ");
+            assert!(text.contains(&label), "{label} missing from:\n{text}");
         }
+        assert_eq!(text.lines().count(), Metrics::FIELD_NAMES.len());
     }
 }

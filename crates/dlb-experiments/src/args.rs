@@ -1,5 +1,7 @@
 //! Minimal `--key value` argument parsing for the experiment binaries
-//! (no external CLI dependency).
+//! (no external CLI dependency).  A `--name` followed by another
+//! `--option` (or by nothing) is a boolean flag, equivalent to
+//! `--name true`.
 
 use std::collections::HashMap;
 use std::str::FromStr;
@@ -19,13 +21,14 @@ impl Args {
     /// Parses an explicit iterator (used by tests).
     pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
-        let mut iter = iter.into_iter();
+        let mut iter = iter.into_iter().peekable();
         while let Some(key) = iter.next() {
             let Some(name) = key.strip_prefix("--") else {
                 panic!("unexpected argument {key:?}; expected --key value pairs");
             };
-            let Some(value) = iter.next() else {
-                panic!("missing value for --{name}");
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(), // bare flag, e.g. --smoke
             };
             values.insert(name.to_string(), value);
         }
@@ -54,6 +57,15 @@ impl Args {
     pub fn has(&self, name: &str) -> bool {
         self.values.contains_key(name)
     }
+
+    /// True when `--name` was supplied as a bare flag or with a truthy
+    /// value (`true`/`1`/`yes`).
+    pub fn flag(&self, name: &str) -> bool {
+        matches!(
+            self.values.get(name).map(String::as_str),
+            Some("true" | "1" | "yes")
+        )
+    }
 }
 
 #[cfg(test)]
@@ -75,9 +87,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing value")]
-    fn missing_value_panics() {
-        args(&["--delta"]);
+    fn bare_flags_parse_as_true() {
+        let a = args(&["--smoke", "--jobs", "4", "--verbose"]);
+        assert!(a.flag("smoke") && a.flag("verbose"));
+        assert_eq!(a.get("jobs", 1usize), 4);
+        assert!(!a.flag("jobs") && !a.flag("absent"));
+        assert!(args(&["--smoke", "false"]).has("smoke"));
+        assert!(!args(&["--smoke", "false"]).flag("smoke"));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin faults_sweep
 //!         [--scenario scenarios/lossy_network.json] [--n 32]
-//!         [--steps 3000] [--runs 3] [--out results/faults_sweep.json]
+//!         [--steps 3000] [--runs 3] [--jobs N]
+//!         [--out results/faults_sweep.json]
 //!         [--svg results/faults_sweep.svg]`
 //!
 //! With `--scenario`, the scenario's `n`, `steps`, `seed` and `faults`
@@ -50,6 +51,7 @@ fn main() {
     cfg.n = args.get("n", cfg.n);
     cfg.steps = args.get("steps", cfg.steps);
     cfg.runs = args.get("runs", cfg.runs);
+    cfg.jobs = args.get("jobs", dlb_experiments::parallel::default_jobs());
     let out: String = args.get("out", "results/faults_sweep.json".to_string());
     let svg: String = args.get("svg", "results/faults_sweep.svg".to_string());
 

@@ -4,9 +4,10 @@
 //! cross-check column).
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin fig6_variation
-//!         [--steps 150] [--out results/fig6.csv]`
+//!         [--steps 150] [--out results/fig6.csv] [--jobs N]`
 
 use dlb_experiments::args::Args;
+use dlb_experiments::parallel::default_jobs;
 use dlb_experiments::report::{ascii_plot, f3, render_table, write_csv};
 use dlb_experiments::svg::{write_chart, ChartConfig, Series};
 use dlb_experiments::variation::{figure6_curves, mc_crosscheck, paper_processor_counts};
@@ -14,12 +15,13 @@ use dlb_experiments::variation::{figure6_curves, mc_crosscheck, paper_processor_
 fn main() {
     let args = Args::from_env();
     let steps: usize = args.get("steps", 150);
+    let jobs: usize = args.get("jobs", default_jobs());
     let out: String = args.get("out", "results/fig6.csv".to_string());
 
     let deltas = [1usize, 2, 4];
     let fs = [1.1f64, 1.2];
     let counts = paper_processor_counts();
-    let curves = figure6_curves(&deltas, &fs, &counts, steps);
+    let curves = figure6_curves(&deltas, &fs, &counts, steps, jobs);
 
     // Summary table: converged VD per (delta, f) at the largest network.
     let mut rows = Vec::new();

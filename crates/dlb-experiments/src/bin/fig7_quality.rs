@@ -3,10 +3,13 @@
 //! `f ∈ {1.1, 1.8}` at a given `δ` (Figure 7: `δ = 1`; Figure 8: `δ = 4`).
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin fig7_quality
-//!         [--delta 1] [--n 64] [--steps 500] [--runs 100] [--c 4]`
+//!         [--delta 1] [--n 64] [--steps 500] [--runs 100] [--c 4]
+//!         [--jobs N]`  (jobs defaults to the available cores; any value
+//! produces byte-identical output)
 
 use dlb_core::Params;
 use dlb_experiments::args::Args;
+use dlb_experiments::parallel::default_jobs;
 use dlb_experiments::quality::balancing_quality;
 use dlb_experiments::report::{ascii_plot, f3, render_table, write_csv};
 use dlb_experiments::svg::{write_chart, ChartConfig, Series};
@@ -18,12 +21,13 @@ fn main() {
     let steps: usize = args.get("steps", 500);
     let runs: usize = args.get("runs", 100);
     let c: usize = args.get("c", 4);
+    let jobs: usize = args.get("jobs", default_jobs());
     let figure = if delta == 1 { 7 } else { 8 };
     let out: String = args.get("out", format!("results/fig{figure}_delta{delta}.csv"));
 
     println!(
         "Figure {figure}: balancing quality, delta = {delta}, f in {{1.1, 1.8}} \
-         ({n} procs, {steps} steps, {runs} runs, C = {c})\n"
+         ({n} procs, {steps} steps, {runs} runs, C = {c}, {jobs} jobs)\n"
     );
 
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
@@ -31,7 +35,7 @@ fn main() {
     let mut svg_series: Vec<Series> = Vec::new();
     for f in [1.1f64, 1.8] {
         let params = Params::new(n, delta, f, c).expect("valid parameters");
-        let q = balancing_quality(params, steps, runs, 2024);
+        let q = balancing_quality(params, steps, runs, 2024, jobs);
 
         for t in 0..steps {
             csv_rows.push(vec![

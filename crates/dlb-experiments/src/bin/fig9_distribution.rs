@@ -3,10 +3,11 @@
 //! `f ∈ {1.1, 1.8}` at a given `δ` (Figure 9: `δ = 1`; Figure 10: `δ = 4`).
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin fig9_distribution
-//!         [--delta 1] [--n 64] [--runs 100] [--c 4]`
+//!         [--delta 1] [--n 64] [--runs 100] [--c 4] [--jobs N]`
 
 use dlb_core::Params;
 use dlb_experiments::args::Args;
+use dlb_experiments::parallel::default_jobs;
 use dlb_experiments::quality::distribution_at;
 use dlb_experiments::report::{ascii_plot, f3, render_table, write_csv};
 use dlb_experiments::svg::{write_chart, ChartConfig, Series};
@@ -18,6 +19,7 @@ fn main() {
     let steps: usize = args.get("steps", 500);
     let runs: usize = args.get("runs", 100);
     let c: usize = args.get("c", 4);
+    let jobs: usize = args.get("jobs", default_jobs());
     let figure = if delta == 1 { 9 } else { 10 };
     let out: String = args.get("out", format!("results/fig{figure}_delta{delta}.csv"));
     let checkpoints = [50usize, 200, 400];
@@ -32,7 +34,7 @@ fn main() {
     let mut svg_series: Vec<Series> = Vec::new();
     for f in [1.1f64, 1.8] {
         let params = Params::new(n, delta, f, c).expect("valid parameters");
-        let snaps = distribution_at(params, steps, &checkpoints, runs, 4096);
+        let snaps = distribution_at(params, steps, &checkpoints, runs, 4096, jobs);
         for snap in &snaps {
             for i in 0..n {
                 csv_rows.push(vec![

@@ -3,10 +3,11 @@
 //! `f = 1.1`, `δ = 1`, under both exchange policies.
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin table1_borrow
-//!         [--n 64] [--steps 500] [--runs 100]`
+//!         [--n 64] [--steps 500] [--runs 100] [--jobs N]`
 
 use dlb_core::ExchangePolicy;
 use dlb_experiments::args::Args;
+use dlb_experiments::parallel::default_jobs;
 use dlb_experiments::report::{f3, render_table, write_csv};
 use dlb_experiments::table1::table1_row;
 
@@ -15,6 +16,7 @@ fn main() {
     let n: usize = args.get("n", 64);
     let steps: usize = args.get("steps", 500);
     let runs: usize = args.get("runs", 100);
+    let jobs: usize = args.get("jobs", default_jobs());
     let out: String = args.get("out", "results/table1.csv".to_string());
 
     println!(
@@ -25,7 +27,7 @@ fn main() {
     for policy in [ExchangePolicy::Strict, ExchangePolicy::Aggressive] {
         let mut rows = Vec::new();
         for c in [4usize, 8, 16, 32] {
-            let row = table1_row(n, steps, runs, c, policy, 31);
+            let row = table1_row(n, steps, runs, c, policy, 31, jobs);
             rows.push(vec![
                 c.to_string(),
                 f3(row.total_borrow),

@@ -2,10 +2,12 @@
 //! processor pairs on the §7 workload, for several `C` and `(δ, f)`.
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin thm4_check
-//!         [--n 64] [--steps 500] [--runs 30] [--out results/thm4.csv]`
+//!         [--n 64] [--steps 500] [--runs 30] [--out results/thm4.csv]
+//!         [--jobs N]`
 
 use dlb_core::Params;
 use dlb_experiments::args::Args;
+use dlb_experiments::parallel::default_jobs;
 use dlb_experiments::quality::theorem4_check;
 use dlb_experiments::report::{f3, render_table, write_csv};
 use dlb_theory::TheoremBounds;
@@ -15,6 +17,7 @@ fn main() {
     let n: usize = args.get("n", 64);
     let steps: usize = args.get("steps", 500);
     let runs: usize = args.get("runs", 30);
+    let jobs: usize = args.get("jobs", default_jobs());
     let out: String = args.get("out", "results/thm4.csv".to_string());
     let checkpoints = [steps / 10, steps / 2, steps - 1];
 
@@ -31,7 +34,7 @@ fn main() {
     for &(delta, f, c) in &grid {
         let params = Params::new(n, delta, f, c).expect("grid valid");
         let bounds = TheoremBounds::for_params(params.algo());
-        let (checked, violations) = theorem4_check(params, steps, &checkpoints, runs, 7);
+        let (checked, violations) = theorem4_check(params, steps, &checkpoints, runs, 7, jobs);
         rows.push(vec![
             delta.to_string(),
             format!("{f:.2}"),

@@ -18,6 +18,7 @@
 //! [`SweepConfig`] renders byte-identical JSON on every run (the
 //! determinism regression test relies on this).
 
+use crate::parallel::{par_map, stream_seed, StreamId};
 use crate::svg::{ChartConfig, Series};
 use dlb_core::{imbalance_stats, Params};
 use dlb_faults::{CrashEvent, CrashMode, FaultPlan};
@@ -46,6 +47,9 @@ pub struct SweepConfig {
     pub losses: Vec<f64>,
     /// Crashed-processor counts to sweep.
     pub crash_counts: Vec<usize>,
+    /// Worker threads for the per-cell Monte Carlo runs (the output is
+    /// bit-identical for every value; 1 = inline).
+    pub jobs: usize,
 }
 
 impl Default for SweepConfig {
@@ -59,6 +63,7 @@ impl Default for SweepConfig {
             base: FaultPlan::reliable(),
             losses: vec![0.0, 0.05, 0.10, 0.15, 0.20],
             crash_counts: vec![0, 1, 2, 4, 8],
+            jobs: 1,
         }
     }
 }
@@ -182,15 +187,18 @@ impl SweepResult {
 /// the experiment doubles as a soundness harness.
 pub fn run_cell(cfg: &SweepConfig, plan: &FaultPlan) -> SweepPoint {
     let params = Params::new(cfg.n, 2, 1.3, 4).expect("valid params");
-    let mut quality_acc = 0.0;
-    let mut stats = AsyncStats::default();
-    let mut lost_load = 0u64;
-    for run in 0..cfg.runs {
+    let per_run = par_map(cfg.jobs, cfg.runs as usize, |run| {
+        let run = run as u64;
         let mut run_plan = plan.clone();
-        run_plan.seed = plan.seed.wrapping_add(run);
-        let net_cfg = AsyncConfig::reliable(params, cfg.latency, 11 + run);
+        run_plan.seed = stream_seed(plan.seed, run, StreamId::Faults);
+        let net_cfg = AsyncConfig::reliable(
+            params,
+            cfg.latency,
+            stream_seed(cfg.workload_seed, run, StreamId::Network),
+        );
         let mut net = AsyncNetwork::with_faults(net_cfg, run_plan).expect("valid plan");
-        let mut wl_rng = ChaCha8Rng::seed_from_u64(cfg.workload_seed.wrapping_add(run));
+        let mut wl_rng =
+            ChaCha8Rng::seed_from_u64(stream_seed(cfg.workload_seed, run, StreamId::Workload));
         let mut ratio = 0.0;
         let mut samples = 0usize;
         for t in 0..cfg.steps {
@@ -220,9 +228,15 @@ pub fn run_cell(cfg: &SweepConfig, plan: &FaultPlan) -> SweepPoint {
             0,
             "no processor may stay locked after quiescence"
         );
-        quality_acc += ratio / samples.max(1) as f64;
-        stats += *net.stats();
-        lost_load += net.lost();
+        (ratio / samples.max(1) as f64, *net.stats(), net.lost())
+    });
+    let mut quality_acc = 0.0;
+    let mut stats = AsyncStats::default();
+    let mut lost_load = 0u64;
+    for (quality, run_stats, lost) in &per_run {
+        quality_acc += quality;
+        stats += *run_stats;
+        lost_load += lost;
     }
     SweepPoint {
         x: 0.0,
@@ -312,6 +326,23 @@ mod tests {
         let b = sweep(&tiny()).to_json().render_pretty();
         assert_eq!(a, b, "faults_sweep output must be byte-stable");
         assert!(a.contains("\"experiment\": \"faults_sweep\""), "{a}");
+    }
+
+    #[test]
+    fn parallel_sweep_renders_byte_identical_json() {
+        let seq = sweep(&tiny()).to_json().render_pretty();
+        let par = sweep(&SweepConfig {
+            jobs: 3,
+            runs: 3,
+            ..tiny()
+        })
+        .to_json()
+        .render_pretty();
+        let seq3 = sweep(&SweepConfig { runs: 3, ..tiny() })
+            .to_json()
+            .render_pretty();
+        assert_eq!(seq3, par, "jobs must not change the rendered sweep");
+        assert_ne!(seq, seq3, "sanity: more runs change the sweep");
     }
 
     #[test]

@@ -18,15 +18,21 @@
 //! | `scaling`           | "up to 1024 processors" scaling claim            |
 //! | `ablation`          | full vs simple variant, exchange policy, locality|
 //! | `faults_sweep`      | balance quality vs injected loss / crash rates   |
+//! | `bench_experiments` | sequential vs `--jobs N` timings + checksums     |
+//!
+//! Monte Carlo binaries take `--jobs N` (default: available cores); the
+//! [`parallel`] harness guarantees byte-identical output for every `N`.
 
 pub mod args;
 pub mod faultsweep;
+pub mod parallel;
 pub mod quality;
 pub mod report;
 pub mod svg;
 pub mod table1;
 pub mod variation;
 
+pub use parallel::{default_jobs, par_map, stream_seed, StreamId};
 pub use quality::{balancing_quality, distribution_at, QualityCurves, SnapshotDistribution};
 pub use report::{ascii_plot, render_table, write_csv};
 pub use table1::{table1_row, Table1Row};

@@ -7,7 +7,13 @@
 //! (over processors and runs) plus the minimum and maximum load *ever
 //! observed in any run* at each time step.  For comparability across
 //! parameter sets, run `r` always replays the same recorded event trace.
+//!
+//! Runs execute on the [`crate::parallel`] pool (`jobs` workers) and are
+//! reduced in run-index order, so every aggregate is bit-identical for
+//! any `jobs` value.  Each run's workload trace and balancer draw from
+//! independent [`stream_seed`] streams.
 
+use crate::parallel::{par_map, stream_seed, StreamId};
 use dlb_core::{Cluster, LoadBalancer, Params};
 use dlb_theory::TheoremBounds;
 use dlb_workload::phase::{PhaseConfig, PhaseWorkload};
@@ -52,32 +58,50 @@ pub fn paper_trace(n: usize, steps: usize, run: u64) -> EventTrace {
     EventTrace::record(&mut workload, steps)
 }
 
-/// Figures 7/8 for an arbitrary balancer factory: `make(run)` builds the
-/// balancer for run `run`, which is then driven by that run's recorded
-/// paper trace.
+/// Figures 7/8 for an arbitrary balancer factory: `make(seed)` builds
+/// the balancer for one run from that run's balancer-stream seed, and is
+/// then driven by the run's recorded paper trace (recorded from the
+/// run's independent workload stream).  Runs execute on `jobs` workers;
+/// the reduction is in run-index order, so the curves are identical for
+/// every `jobs` value.
 pub fn quality_curves_with<B: LoadBalancer>(
-    make: impl Fn(u64) -> B,
+    make: impl Fn(u64) -> B + Sync,
     n: usize,
     steps: usize,
     runs: usize,
     base_seed: u64,
+    jobs: usize,
 ) -> QualityCurves {
+    let per_run = par_map(jobs, runs, |r| {
+        let trace = paper_trace(
+            n,
+            steps,
+            stream_seed(base_seed, r as u64, StreamId::Workload),
+        );
+        let mut replay = trace.replay();
+        let mut balancer = make(stream_seed(base_seed, r as u64, StreamId::Balancer));
+        let mut run = QualityCurves {
+            mean: vec![0.0; steps],
+            min: vec![u64::MAX; steps],
+            max: vec![0; steps],
+        };
+        drive(&mut balancer, &mut replay, steps, |t, b| {
+            let loads = b.loads();
+            run.mean[t] = loads.iter().map(|&l| l as f64).sum::<f64>() / n as f64;
+            run.min[t] = *loads.iter().min().expect("n > 0");
+            run.max[t] = *loads.iter().max().expect("n > 0");
+        });
+        run
+    });
     let mut mean = vec![0.0f64; steps];
     let mut min = vec![u64::MAX; steps];
     let mut max = vec![0u64; steps];
-    for r in 0..runs {
-        let seed = base_seed.wrapping_add(r as u64);
-        let trace = paper_trace(n, steps, seed);
-        let mut replay = trace.replay();
-        let mut balancer = make(seed);
-        drive(&mut balancer, &mut replay, steps, |t, b| {
-            let loads = b.loads();
-            mean[t] += loads.iter().map(|&l| l as f64).sum::<f64>() / n as f64;
-            let lo = *loads.iter().min().expect("n > 0");
-            let hi = *loads.iter().max().expect("n > 0");
-            min[t] = min[t].min(lo);
-            max[t] = max[t].max(hi);
-        });
+    for run in &per_run {
+        for t in 0..steps {
+            mean[t] += run.mean[t];
+            min[t] = min[t].min(run.min[t]);
+            max[t] = max[t].max(run.max[t]);
+        }
     }
     for m in &mut mean {
         *m /= runs as f64;
@@ -91,13 +115,15 @@ pub fn balancing_quality(
     steps: usize,
     runs: usize,
     base_seed: u64,
+    jobs: usize,
 ) -> QualityCurves {
     quality_curves_with(
-        |seed| Cluster::new(params, seed ^ 0x5eed),
+        |seed| Cluster::new(params, seed),
         params.n(),
         steps,
         runs,
         base_seed,
+        jobs,
     )
 }
 
@@ -131,31 +157,50 @@ pub fn distribution_at(
     checkpoints: &[usize],
     runs: usize,
     base_seed: u64,
+    jobs: usize,
 ) -> Vec<SnapshotDistribution> {
     let n = params.n();
-    let mut snaps: Vec<SnapshotDistribution> = checkpoints
-        .iter()
-        .map(|&t| SnapshotDistribution {
-            t,
-            mean: vec![0.0; n],
-            min: vec![u64::MAX; n],
-            max: vec![0; n],
-        })
-        .collect();
-    for r in 0..runs {
-        let seed = base_seed.wrapping_add(r as u64);
-        let trace = paper_trace(n, steps, seed);
+    let fresh = || -> Vec<SnapshotDistribution> {
+        checkpoints
+            .iter()
+            .map(|&t| SnapshotDistribution {
+                t,
+                mean: vec![0.0; n],
+                min: vec![u64::MAX; n],
+                max: vec![0; n],
+            })
+            .collect()
+    };
+    let per_run = par_map(jobs, runs, |r| {
+        let trace = paper_trace(
+            n,
+            steps,
+            stream_seed(base_seed, r as u64, StreamId::Workload),
+        );
         let mut replay = trace.replay();
-        let mut balancer = Cluster::new(params, seed ^ 0x5eed);
+        let mut balancer =
+            Cluster::new(params, stream_seed(base_seed, r as u64, StreamId::Balancer));
+        let mut snaps = fresh();
         drive(&mut balancer, &mut replay, steps, |t, b| {
             for snap in snaps.iter_mut().filter(|s| s.t == t) {
                 for (i, &l) in b.loads().iter().enumerate() {
-                    snap.mean[i] += l as f64;
-                    snap.min[i] = snap.min[i].min(l);
-                    snap.max[i] = snap.max[i].max(l);
+                    snap.mean[i] = l as f64;
+                    snap.min[i] = l;
+                    snap.max[i] = l;
                 }
             }
         });
+        snaps
+    });
+    let mut snaps = fresh();
+    for run in &per_run {
+        for (snap, run_snap) in snaps.iter_mut().zip(run.iter()) {
+            for i in 0..n {
+                snap.mean[i] += run_snap.mean[i];
+                snap.min[i] = snap.min[i].min(run_snap.min[i]);
+                snap.max[i] = snap.max[i].max(run_snap.max[i]);
+            }
+        }
     }
     for snap in &mut snaps {
         for m in &mut snap.mean {
@@ -174,9 +219,10 @@ pub fn theorem4_check(
     checkpoints: &[usize],
     runs: usize,
     base_seed: u64,
+    jobs: usize,
 ) -> (u64, u64) {
     let bounds = TheoremBounds::for_params(params.algo());
-    let snaps = distribution_at(params, steps, checkpoints, runs, base_seed);
+    let snaps = distribution_at(params, steps, checkpoints, runs, base_seed, jobs);
     let mut checked = 0u64;
     let mut violations = 0u64;
     for snap in &snaps {
@@ -218,7 +264,7 @@ mod tests {
 
     #[test]
     fn quality_curves_shape_and_ordering() {
-        let q = balancing_quality(small_params(), 60, 3, 1);
+        let q = balancing_quality(small_params(), 60, 3, 1, 1);
         assert_eq!(q.mean.len(), 60);
         for t in 0..60 {
             assert!(q.min[t] as f64 <= q.mean[t] + 1e-9, "t={t}");
@@ -231,8 +277,8 @@ mod tests {
     fn smaller_f_tightens_the_band() {
         // The headline claim of Figures 7/8: lower f (or higher δ) gives a
         // narrower min–max band.
-        let tight = balancing_quality(Params::new(8, 4, 1.1, 4).unwrap(), 150, 5, 7);
-        let loose = balancing_quality(Params::new(8, 1, 1.8, 4).unwrap(), 150, 5, 7);
+        let tight = balancing_quality(Params::new(8, 4, 1.1, 4).unwrap(), 150, 5, 7, 1);
+        let loose = balancing_quality(Params::new(8, 1, 1.8, 4).unwrap(), 150, 5, 7, 1);
         assert!(
             tight.final_spread() <= loose.final_spread(),
             "tight {} vs loose {}",
@@ -243,7 +289,7 @@ mod tests {
 
     #[test]
     fn distribution_checkpoints_match_requested_times() {
-        let snaps = distribution_at(small_params(), 50, &[10, 40], 3, 2);
+        let snaps = distribution_at(small_params(), 50, &[10, 40], 3, 2, 1);
         assert_eq!(snaps.len(), 2);
         assert_eq!(snaps[0].t, 10);
         assert_eq!(snaps[1].t, 40);
@@ -258,16 +304,49 @@ mod tests {
 
     #[test]
     fn theorem4_holds_on_small_instance() {
-        let (checked, violations) = theorem4_check(small_params(), 80, &[40, 79], 5, 3);
+        let (checked, violations) = theorem4_check(small_params(), 80, &[40, 79], 5, 3, 1);
         assert!(checked > 0);
         assert_eq!(violations, 0, "Theorem 4 must hold empirically");
     }
 
     #[test]
     fn identical_seeds_reproduce_curves() {
-        let a = balancing_quality(small_params(), 40, 2, 9);
-        let b = balancing_quality(small_params(), 40, 2, 9);
+        let a = balancing_quality(small_params(), 40, 2, 9, 1);
+        let b = balancing_quality(small_params(), 40, 2, 9, 1);
         assert_eq!(a.mean, b.mean);
         assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn parallel_curves_are_bit_identical_to_sequential() {
+        for jobs in [2, 4] {
+            let seq = balancing_quality(small_params(), 50, 5, 13, 1);
+            let par = balancing_quality(small_params(), 50, 5, 13, jobs);
+            assert_eq!(seq.mean, par.mean, "jobs={jobs}");
+            assert_eq!(seq.min, par.min, "jobs={jobs}");
+            assert_eq!(seq.max, par.max, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_distribution_is_bit_identical_to_sequential() {
+        let seq = distribution_at(small_params(), 50, &[10, 40], 4, 2, 1);
+        let par = distribution_at(small_params(), 50, &[10, 40], 4, 2, 3);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.min, b.min);
+            assert_eq!(a.max, b.max);
+        }
+    }
+
+    #[test]
+    fn workload_and_balancer_streams_are_decorrelated() {
+        // Regression for the correlated-seeding bug: the trace seed and
+        // the balancer seed of one run must differ (the old scheme fed
+        // `base + r` to both).
+        let w = stream_seed(2024, 0, StreamId::Workload);
+        let b = stream_seed(2024, 0, StreamId::Balancer);
+        assert_ne!(w, b);
     }
 }

@@ -1,8 +1,9 @@
 //! Table 1: borrow-machinery statistics as a function of the borrow
 //! limit `C` (per-run averages over the §7 workload, `f = 1.1`, `δ = 1`).
 
+use crate::parallel::{par_map, stream_seed, StreamId};
 use crate::quality::paper_trace;
-use dlb_core::{Cluster, ExchangePolicy, LoadBalancer, Params};
+use dlb_core::{Cluster, ExchangePolicy, LoadBalancer, Metrics, Params};
 
 /// One row of Table 1.
 ///
@@ -25,7 +26,8 @@ pub struct Table1Row {
     pub decrease_sim: f64,
 }
 
-/// Computes one row of Table 1.
+/// Computes one row of Table 1 over `jobs` workers (per-run metrics are
+/// reduced in run-index order, so the row is identical for any `jobs`).
 pub fn table1_row(
     n: usize,
     steps: usize,
@@ -33,10 +35,22 @@ pub fn table1_row(
     c: usize,
     policy: ExchangePolicy,
     base_seed: u64,
+    jobs: usize,
 ) -> Table1Row {
     let params = Params::new(n, 1, 1.1, c)
         .expect("paper parameters valid")
         .with_exchange(policy);
+    let per_run: Vec<Metrics> = par_map(jobs, runs, |r| {
+        let trace = paper_trace(
+            n,
+            steps,
+            stream_seed(base_seed, r as u64, StreamId::Workload),
+        );
+        let mut cluster =
+            Cluster::new(params, stream_seed(base_seed, r as u64, StreamId::Balancer));
+        crate::quality::run_on_trace(&mut cluster, &trace);
+        *cluster.metrics()
+    });
     let mut acc = Table1Row {
         c,
         total_borrow: 0.0,
@@ -44,12 +58,7 @@ pub fn table1_row(
         borrow_fail: 0.0,
         decrease_sim: 0.0,
     };
-    for r in 0..runs {
-        let seed = base_seed.wrapping_add(r as u64);
-        let trace = paper_trace(n, steps, seed);
-        let mut cluster = Cluster::new(params, seed ^ 0x5eed);
-        crate::quality::run_on_trace(&mut cluster, &trace);
-        let m = cluster.metrics();
+    for m in &per_run {
         acc.total_borrow += m.total_borrow as f64;
         acc.remote_borrow += m.remote_borrow as f64;
         acc.borrow_fail += m.borrow_fail as f64;
@@ -71,8 +80,8 @@ mod tests {
     fn larger_c_reduces_remote_operations() {
         // Table 1's headline: total borrows stay roughly constant while
         // remote borrows / decrease sims collapse as C grows.
-        let small_c = table1_row(16, 200, 4, 2, ExchangePolicy::Strict, 11);
-        let large_c = table1_row(16, 200, 4, 16, ExchangePolicy::Strict, 11);
+        let small_c = table1_row(16, 200, 4, 2, ExchangePolicy::Strict, 11, 1);
+        let large_c = table1_row(16, 200, 4, 16, ExchangePolicy::Strict, 11, 1);
         assert!(small_c.total_borrow > 0.0);
         assert!(
             large_c.remote_borrow <= small_c.remote_borrow,
@@ -90,8 +99,19 @@ mod tests {
 
     #[test]
     fn rows_are_deterministic() {
-        let a = table1_row(8, 100, 3, 4, ExchangePolicy::Strict, 5);
-        let b = table1_row(8, 100, 3, 4, ExchangePolicy::Strict, 5);
+        let a = table1_row(8, 100, 3, 4, ExchangePolicy::Strict, 5, 1);
+        let b = table1_row(8, 100, 3, 4, ExchangePolicy::Strict, 5, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_rows_are_bit_identical_to_sequential() {
+        let seq = table1_row(8, 100, 5, 4, ExchangePolicy::Strict, 5, 1);
+        for jobs in [2, 4] {
+            assert_eq!(
+                seq,
+                table1_row(8, 100, 5, 4, ExchangePolicy::Strict, 5, jobs)
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! enumeration and Monte-Carlo); a Monte-Carlo column is included so the
 //! binary's output shows both engines side by side.
 
+use crate::parallel::par_map;
 use dlb_theory::moments::{monte_carlo, vd_curve, Selection};
 
 /// One Figure 6 curve.
@@ -38,9 +39,17 @@ pub fn paper_processor_counts() -> Vec<usize> {
     counts
 }
 
-/// Computes the full Figure 6 grid exactly.
-pub fn figure6_curves(deltas: &[usize], fs: &[f64], procs: &[usize], steps: usize) -> Vec<VdCurve> {
-    let mut out = Vec::new();
+/// Computes the full Figure 6 grid exactly, fanning the (feasible) grid
+/// points out over `jobs` workers; the output order is the grid order
+/// regardless of `jobs` (the recursion is exact, so the values are too).
+pub fn figure6_curves(
+    deltas: &[usize],
+    fs: &[f64],
+    procs: &[usize],
+    steps: usize,
+    jobs: usize,
+) -> Vec<VdCurve> {
+    let mut grid = Vec::new();
     for &delta in deltas {
         for &f in fs {
             for &n in procs {
@@ -48,16 +57,19 @@ pub fn figure6_curves(deltas: &[usize], fs: &[f64], procs: &[usize], steps: usiz
                 if delta > p {
                     continue;
                 }
-                out.push(VdCurve {
-                    delta,
-                    f,
-                    p,
-                    vd: vd_curve(p, delta, f, steps),
-                });
+                grid.push((delta, f, p));
             }
         }
     }
-    out
+    par_map(jobs, grid.len(), |i| {
+        let (delta, f, p) = grid[i];
+        VdCurve {
+            delta,
+            f,
+            p,
+            vd: vd_curve(p, delta, f, steps),
+        }
+    })
 }
 
 /// Monte-Carlo check of one grid point: returns `(exact_vd, mc_vd)` after
@@ -83,7 +95,7 @@ mod tests {
     #[test]
     fn grid_skips_infeasible_delta() {
         // δ = 4 needs at least 5 processors (p >= 4).
-        let curves = figure6_curves(&[4], &[1.1], &[2, 3, 4, 5, 6], 10);
+        let curves = figure6_curves(&[4], &[1.1], &[2, 3, 4, 5, 6], 10, 1);
         assert_eq!(curves.len(), 2, "only n = 5 and n = 6 are feasible");
         assert!(curves.iter().all(|c| c.p >= 4));
     }
@@ -92,13 +104,25 @@ mod tests {
     fn paper_grid_size() {
         let counts = paper_processor_counts();
         assert_eq!(counts.len(), 14);
-        let curves = figure6_curves(&[1, 2, 4], &[1.1, 1.2], &counts, 150);
+        let curves = figure6_curves(&[1, 2, 4], &[1.1, 1.2], &counts, 150, 2);
         // δ=1: 14, δ=2: 13 (n=2 infeasible), δ=4: 11 (n=2,3,4 infeasible),
         // each × 2 values of f.
         assert_eq!(curves.len(), (14 + 13 + 11) * 2);
         for c in &curves {
             assert_eq!(c.vd.len(), 151);
             assert!(c.final_vd() >= 0.0 && c.final_vd() < 1.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential() {
+        let counts = [2usize, 5, 10];
+        let seq = figure6_curves(&[1, 2], &[1.1], &counts, 40, 1);
+        let par = figure6_curves(&[1, 2], &[1.1], &counts, 40, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!((a.delta, a.p), (b.delta, b.p), "grid order preserved");
+            assert_eq!(a.vd, b.vd);
         }
     }
 

@@ -167,7 +167,13 @@ impl CostBounds {
     /// needed) or the parameters leave the formula's domain.
     pub fn lemma6_upper(&self, x: u64, c: u64, max_iter: usize) -> Option<u64> {
         let f = self.params.f();
-        if c <= 1 {
+        if c == 0 {
+            // Zero decrease costs zero operations — agree with
+            // `lemma5_lower`/`lemma5_upper`, which return `Some(0)` for
+            // the same query (this used to return `Some(1)`).
+            return Some(0);
+        }
+        if c == 1 {
             return Some(1);
         }
         if c >= x || x <= 1 || f <= 1.0 {
@@ -263,6 +269,24 @@ mod tests {
         let cb = CostBounds::for_params(&params(64, 2, 1.4));
         assert_eq!(cb.lemma5_lower(10, 0), Some(0));
         assert_eq!(cb.lemma5_upper(10, 0), Some(0));
+    }
+
+    #[test]
+    fn zero_decrease_bounds_agree_across_lemmas() {
+        // Regression: `lemma6_upper` used to report `Some(1)` for c = 0
+        // while both Lemma 5 bounds reported `Some(0)` — an upper bound
+        // below a... nonexistent cost.  All three must agree that a zero
+        // decrease is free, for any parameter set.
+        for &(n, delta, f) in &[(64usize, 1usize, 1.1f64), (64, 2, 1.4), (16, 4, 1.8)] {
+            let cb = CostBounds::for_params(&params(n, delta, f));
+            for x in [2u64, 10, 1000] {
+                assert_eq!(cb.lemma5_lower(x, 0), Some(0), "n={n} x={x}");
+                assert_eq!(cb.lemma5_upper(x, 0), Some(0), "n={n} x={x}");
+                assert_eq!(cb.lemma6_upper(x, 0, 100), Some(0), "n={n} x={x}");
+            }
+            // c = 1 keeps its one-operation upper bound.
+            assert_eq!(cb.lemma6_upper(10, 1, 100), Some(1));
+        }
     }
 
     #[test]
