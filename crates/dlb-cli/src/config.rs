@@ -25,6 +25,8 @@ pub struct Scenario {
     /// Optional fault injection: message loss, duplication, jitter,
     /// crashes and partitions, applied per run with a per-run seed.
     pub faults: Option<FaultPlan>,
+    /// Optional JSONL trace output path (`dlb run --trace` overrides).
+    pub trace: Option<String>,
 }
 
 fn default_runs() -> usize {
@@ -461,6 +463,9 @@ impl ToJson for Scenario {
         if let Some(faults) = &self.faults {
             obj.push(("faults".to_string(), faults.to_json()));
         }
+        if let Some(trace) = &self.trace {
+            obj.push(("trace".to_string(), Json::Str(trace.clone())));
+        }
         Json::Obj(obj)
     }
 }
@@ -471,6 +476,10 @@ impl FromJson for Scenario {
             None | Some(Json::Null) => None,
             Some(v) => Some(FaultPlan::from_json(v).map_err(|e| format!("faults: {e}"))?),
         };
+        let trace = match value.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_str().ok_or("trace must be a string path")?.to_string()),
+        };
         Ok(Scenario {
             n: dlb_json::req(value, "n")?,
             steps: dlb_json::req(value, "steps")?,
@@ -480,6 +489,7 @@ impl FromJson for Scenario {
             strategy: dlb_json::req(value, "strategy")?,
             workload: dlb_json::req(value, "workload")?,
             faults,
+            trace,
         })
     }
 }
@@ -540,6 +550,7 @@ impl Scenario {
                 len: default_len(),
             },
             faults: None,
+            trace: None,
         }
     }
 }
@@ -593,6 +604,16 @@ mod tests {
         });
         assert!(s.validate().unwrap_err().contains("faults"));
         assert!(Scenario::from_json("{").is_err());
+    }
+
+    #[test]
+    fn trace_field_roundtrips_and_defaults_to_none() {
+        let mut s = Scenario::demo();
+        assert_eq!(s.trace, None);
+        assert!(!s.to_json().contains("trace"), "omitted when None");
+        s.trace = Some("out/trace.jsonl".to_string());
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.trace.as_deref(), Some("out/trace.jsonl"));
     }
 
     #[test]

@@ -1,35 +1,51 @@
 //! `dlb` — config-driven runner for the SPAA'93 load balancing workspace.
 //!
 //! ```text
-//! dlb demo                      run the built-in §7 demo scenario
-//! dlb run <scenario.json>       run a scenario from a JSON file
-//! dlb template                  print a scenario template to stdout
+//! dlb demo [options]                  run the built-in §7 demo scenario
+//! dlb run <scenario.json> [options]   run a scenario from a JSON file
+//! dlb template                        print a scenario template to stdout
+//!
+//! options:
+//!   --trace <path>   write a JSONL event trace (dlb-trace schema)
+//!   --jobs N         worker threads; output is identical for every N
+//!   --profile        add per-step StepProfile events to the trace
 //! ```
 
 mod config;
 mod run;
 
 use config::Scenario;
+use run::RunOptions;
+
+const USAGE: &str = "usage: dlb <demo | run <scenario.json> | template> \
+                     [--trace <path>] [--jobs N] [--profile]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("demo") => run_scenario(Scenario::demo()),
-        Some("run") => match args.get(1) {
+        Some("demo") => {
+            parse_options(&args[1..]).and_then(|opts| run_scenario(Scenario::demo(), &opts))
+        }
+        Some("run") => match args.get(1).filter(|a| !a.starts_with("--")) {
             Some(path) => match std::fs::read_to_string(path) {
                 Ok(text) => match Scenario::from_json(&text) {
-                    Ok(scenario) => run_scenario(scenario),
+                    Ok(scenario) => {
+                        parse_options(&args[2..]).and_then(|opts| run_scenario(scenario, &opts))
+                    }
                     Err(e) => Err(format!("invalid scenario {path}: {e}")),
                 },
                 Err(e) => Err(format!("cannot read {path}: {e}")),
             },
-            None => Err("usage: dlb run <scenario.json>".into()),
+            None => Err(
+                "usage: dlb run <scenario.json> [--trace <path>] [--jobs N] [--profile]"
+                    .to_string(),
+            ),
         },
         Some("template") => {
             println!("{}", Scenario::demo().to_json());
             Ok(())
         }
-        _ => Err("usage: dlb <demo | run <scenario.json> | template>".into()),
+        _ => Err(USAGE.to_string()),
     };
     if let Err(message) = result {
         eprintln!("error: {message}");
@@ -37,12 +53,36 @@ fn main() {
     }
 }
 
-fn run_scenario(scenario: Scenario) -> Result<(), String> {
+fn parse_options(rest: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--trace" => {
+                opts.trace = Some(iter.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--jobs" => {
+                let raw = iter.next().ok_or("--jobs needs a thread count")?;
+                opts.jobs = raw
+                    .parse()
+                    .map_err(|e| format!("invalid --jobs {raw:?}: {e}"))?;
+            }
+            "--profile" => opts.profile = true,
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_scenario(scenario: Scenario, opts: &RunOptions) -> Result<(), String> {
     println!(
         "running: {} processors, {} steps x {} runs, strategy {:?}\n",
         scenario.n, scenario.steps, scenario.runs, scenario.strategy
     );
-    let report = run::execute(&scenario)?;
+    let report = run::execute_with(&scenario, opts)?;
     println!("{}", report.render());
+    if let Some(path) = opts.trace.as_ref().or(scenario.trace.as_ref()) {
+        println!("\ntrace written to {path}");
+    }
     Ok(())
 }

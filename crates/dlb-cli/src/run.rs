@@ -1,15 +1,38 @@
 //! Builds and executes a [`Scenario`].
+//!
+//! Runs execute through the deterministic parallel harness of
+//! `dlb-experiments` (`par_map` + `stream_seed`): each run's RNG streams
+//! depend only on the scenario seed and the run index, and results —
+//! including trace events — are reduced in run-index order, so the
+//! report and any `--trace` output are byte-identical for every
+//! `--jobs N`.
 
 use crate::config::{Scenario, StrategyConfig, TopologyConfig, WorkloadConfig};
 use dlb_baselines::{Diffusion, Gradient, NoBalance, RandomScatter, Rsu91, WorkStealing};
 use dlb_core::{
     Cluster, LoadBalancer, LoadEvent, LoadRecorder, Params, SimpleCluster, WeightedCluster,
 };
+use dlb_experiments::{par_map, stream_seed, StreamId};
 use dlb_faults::FaultInjector;
 use dlb_net::{AsyncConfig, AsyncNetwork, AsyncStats, PartnerMode, TopoCluster, Topology};
+use dlb_trace::{BufferSink, FileSink, TraceEvent, TraceSink};
 use dlb_workload::patterns::{MovingHotspot, OneProducer, ProducerConsumerSplit, UniformRandom};
 use dlb_workload::phase::{PhaseConfig, PhaseWorkload};
-use dlb_workload::{drive, Workload};
+use dlb_workload::Workload;
+
+/// Execution options (CLI flags, not scenario content).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Write a JSONL event trace here (overrides the scenario's `trace`
+    /// field).
+    pub trace: Option<String>,
+    /// Worker threads for the run loop (`0`/`1` = sequential; output is
+    /// identical for every value).
+    pub jobs: usize,
+    /// Emit per-step `StepProfile` events (wall times are
+    /// machine-dependent, so profiled traces are not byte-reproducible).
+    pub profile: bool,
+}
 
 /// Aggregated outcome of all runs of a scenario.
 #[derive(Debug, Clone)]
@@ -190,123 +213,258 @@ fn build_workload(scenario: &Scenario, seed: u64) -> Result<Box<dyn Workload>, S
     })
 }
 
-/// The fault plan for run `r`: the plan's own seed is offset per run so
-/// runs see independent fault streams.
+/// The fault plan for run `r`: the plan's own seed is re-derived per
+/// run so runs see independent fault streams.
 fn plan_for_run(scenario: &Scenario, r: usize) -> Option<dlb_faults::FaultPlan> {
     scenario.faults.as_ref().map(|plan| {
         let mut plan = plan.clone();
-        plan.seed = plan.seed.wrapping_add(r as u64);
+        plan.seed = stream_seed(plan.seed, r as u64, StreamId::Faults);
         plan
     })
 }
 
-/// Runs the async (message-level) strategy.
-fn execute_async(
-    scenario: &Scenario,
-    delta: usize,
-    f: f64,
-    latency: u64,
-) -> Result<Report, String> {
-    let params = Params::new(scenario.n, delta, f, 4).map_err(|e| e.to_string())?;
-    let warmup = (scenario.steps as f64 * scenario.warmup_fraction) as usize;
-    let mut recorder = LoadRecorder::new(0, 3.0);
-    let mut stats = AsyncStats::default();
-    let mut lost_load = 0;
-    let mut ops = 0.0;
-    let mut migrated = 0.0;
-    let mut final_total = 0;
-    for r in 0..scenario.runs {
-        let seed = scenario.seed.wrapping_add(r as u64);
-        let config = AsyncConfig::reliable(params, latency, seed);
-        let mut net = match plan_for_run(scenario, r) {
-            Some(plan) => AsyncNetwork::with_faults(config, plan)?,
-            None => AsyncNetwork::new(config),
-        };
-        let mut workload = build_workload(scenario, seed ^ 0x000f_10a7)?;
-        let mut run_recorder = LoadRecorder::new(warmup, 3.0);
-        let mut events = Vec::new();
-        let mut actions = vec![0i8; scenario.n];
-        for t in 0..scenario.steps {
-            workload.events_at(t, &mut events);
-            for (a, e) in actions.iter_mut().zip(events.iter()) {
-                *a = match e {
-                    LoadEvent::Generate => 1,
-                    LoadEvent::Consume => -1,
-                    LoadEvent::Idle => 0,
-                };
-            }
-            net.tick(t as u64, &actions);
-            net.check_conservation()?;
-            run_recorder.record(&net.loads());
-        }
-        net.quiesce();
-        net.check_conservation()?;
-        recorder.merge(&run_recorder);
-        stats += *net.stats();
-        lost_load += net.lost();
-        ops += net.stats().completed_ops as f64;
-        migrated += net.stats().packets_moved as f64;
-        final_total = net.loads().iter().sum();
+/// `(δ, f, C)` as announced in `RunStarted` (zeroes for baselines that
+/// have no such parameters — `trace_analyze` then skips the bounds).
+fn strategy_triple(strategy: &StrategyConfig) -> (u64, f64, u64) {
+    match strategy {
+        StrategyConfig::Full { delta, f, c } => (*delta as u64, *f, *c as u64),
+        StrategyConfig::Simple { delta, f }
+        | StrategyConfig::Async { delta, f, .. }
+        | StrategyConfig::Weighted { delta, f, .. }
+        | StrategyConfig::Topo { delta, f, .. } => (*delta as u64, *f, 0),
+        _ => (0, 0.0, 0),
     }
-    Ok(Report {
-        strategy: "spaa93-async".to_string(),
-        mean_ratio: recorder.mean_ratio(),
-        p95_ratio: recorder.ratio_quantile(0.95),
-        worst_ratio: recorder.worst_ratio(),
-        ops_per_run: ops / scenario.runs as f64,
-        migrated_per_run: migrated / scenario.runs as f64,
-        final_total,
-        async_stats: Some(stats),
-        lost_load,
+}
+
+/// Everything one run produces; aggregated in run-index order.
+struct RunOutcome {
+    recorder: LoadRecorder,
+    strategy: String,
+    ops: u64,
+    migrated: u64,
+    final_total: u64,
+    stats: Option<AsyncStats>,
+    lost: u64,
+    events: Vec<TraceEvent>,
+}
+
+fn emit_load_sample(driver: &dlb_trace::SharedSink, step: u64, loads: &[u64]) {
+    driver.record(&TraceEvent::LoadSample {
+        step,
+        min: *loads.iter().min().expect("n >= 2"),
+        max: *loads.iter().max().expect("n >= 2"),
+        total: loads.iter().sum(),
+    });
+}
+
+/// One run of a synchronous (LoadBalancer) strategy.
+fn run_one_sync(
+    scenario: &Scenario,
+    r: usize,
+    tracing: bool,
+    profile: bool,
+) -> Result<RunOutcome, String> {
+    let seed = stream_seed(scenario.seed, r as u64, StreamId::Balancer);
+    let mut balancer = build_strategy(scenario, seed)?;
+    let mut workload = build_workload(
+        scenario,
+        stream_seed(scenario.seed, r as u64, StreamId::Workload),
+    )?;
+    let warmup = (scenario.steps as f64 * scenario.warmup_fraction) as usize;
+    let mut recorder = LoadRecorder::new(warmup, 3.0);
+    let buf = BufferSink::new();
+    let driver = buf.handle();
+    if tracing {
+        let (delta, f, c) = strategy_triple(&scenario.strategy);
+        driver.record(&TraceEvent::RunStarted {
+            run: r as u64,
+            seed,
+            n: scenario.n as u64,
+            strategy: balancer.name().to_string(),
+            delta,
+            f,
+            c,
+        });
+        balancer.set_trace_sink(buf.handle());
+    }
+    // Synchronous engines take the fault plan as a per-step crash mask
+    // (message faults do not apply to atomic balancing operations).
+    let injector = match plan_for_run(scenario, r) {
+        Some(plan) => Some(FaultInjector::new(plan, scenario.n)?),
+        None => None,
+    };
+    let mut events = Vec::new();
+    for t in 0..scenario.steps {
+        workload.events_at(t, &mut events);
+        let started = std::time::Instant::now();
+        let ops_before = balancer.metrics().balance_ops;
+        match &injector {
+            Some(inj) => balancer.step_masked(&events, &inj.mask_at(t as u64)),
+            None => balancer.step(&events),
+        }
+        let loads = balancer.loads();
+        recorder.record(&loads);
+        if tracing {
+            emit_load_sample(&driver, t as u64, &loads);
+            if profile {
+                driver.record(&TraceEvent::StepProfile {
+                    step: t as u64,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                    ops: balancer.metrics().balance_ops - ops_before,
+                });
+            }
+        }
+    }
+    if tracing {
+        driver.record(&TraceEvent::RunFinished { run: r as u64 });
+    }
+    Ok(RunOutcome {
+        recorder,
+        strategy: balancer.name().to_string(),
+        ops: balancer.metrics().balance_ops,
+        migrated: balancer.metrics().packets_migrated,
+        final_total: balancer.loads().iter().sum(),
+        stats: None,
+        lost: 0,
+        events: buf.take(),
     })
 }
 
-/// Runs a scenario to completion and aggregates the report.
-pub fn execute(scenario: &Scenario) -> Result<Report, String> {
-    scenario.validate()?;
-    if let StrategyConfig::Async { delta, f, latency } = scenario.strategy {
-        return execute_async(scenario, delta, f, latency);
-    }
+/// One run of the async (message-level) strategy.
+fn run_one_async(
+    scenario: &Scenario,
+    r: usize,
+    tracing: bool,
+    profile: bool,
+    delta: usize,
+    f: f64,
+    latency: u64,
+) -> Result<RunOutcome, String> {
+    let params = Params::new(scenario.n, delta, f, 4).map_err(|e| e.to_string())?;
+    let seed = stream_seed(scenario.seed, r as u64, StreamId::Balancer);
+    let config = AsyncConfig::reliable(params, latency, seed);
+    let mut net = match plan_for_run(scenario, r) {
+        Some(plan) => AsyncNetwork::with_faults(config, plan)?,
+        None => AsyncNetwork::new(config),
+    };
+    let mut workload = build_workload(
+        scenario,
+        stream_seed(scenario.seed, r as u64, StreamId::Workload),
+    )?;
     let warmup = (scenario.steps as f64 * scenario.warmup_fraction) as usize;
-    let mut recorder = LoadRecorder::new(0, 3.0); // per-run warm-up handled below
+    let mut recorder = LoadRecorder::new(warmup, 3.0);
+    let buf = BufferSink::new();
+    let driver = buf.handle();
+    if tracing {
+        driver.record(&TraceEvent::RunStarted {
+            run: r as u64,
+            seed,
+            n: scenario.n as u64,
+            strategy: "spaa93-async".to_string(),
+            delta: delta as u64,
+            f,
+            c: 0,
+        });
+        net.set_trace_sink(buf.handle());
+    }
+    let mut events = Vec::new();
+    let mut actions = vec![0i8; scenario.n];
+    for t in 0..scenario.steps {
+        workload.events_at(t, &mut events);
+        for (a, e) in actions.iter_mut().zip(events.iter()) {
+            *a = match e {
+                LoadEvent::Generate => 1,
+                LoadEvent::Consume => -1,
+                LoadEvent::Idle => 0,
+            };
+        }
+        let started = std::time::Instant::now();
+        let ops_before = net.stats().completed_ops;
+        net.tick(t as u64, &actions);
+        net.check_conservation()?;
+        let loads = net.loads();
+        recorder.record(&loads);
+        if tracing {
+            emit_load_sample(&driver, t as u64, &loads);
+            if profile {
+                driver.record(&TraceEvent::StepProfile {
+                    step: t as u64,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                    ops: net.stats().completed_ops - ops_before,
+                });
+            }
+        }
+    }
+    net.quiesce();
+    net.check_conservation()?;
+    if tracing {
+        driver.record(&TraceEvent::RunFinished { run: r as u64 });
+    }
+    Ok(RunOutcome {
+        recorder,
+        strategy: "spaa93-async".to_string(),
+        ops: net.stats().completed_ops,
+        migrated: net.stats().packets_moved,
+        final_total: net.loads().iter().sum(),
+        stats: Some(*net.stats()),
+        lost: net.lost(),
+        events: buf.take(),
+    })
+}
+
+/// Runs a scenario under explicit [`RunOptions`]: `jobs` worker
+/// threads (identical output for every value) and an optional JSONL
+/// trace, written in run-index order.
+pub fn execute_with(scenario: &Scenario, opts: &RunOptions) -> Result<Report, String> {
+    scenario.validate()?;
+    let trace_path = opts.trace.clone().or_else(|| scenario.trace.clone());
+    let tracing = trace_path.is_some();
+    let jobs = opts.jobs.max(1);
+    let async_cfg = match scenario.strategy {
+        StrategyConfig::Async { delta, f, latency } => Some((delta, f, latency)),
+        _ => None,
+    };
+    let outcomes: Vec<Result<RunOutcome, String>> =
+        par_map(jobs, scenario.runs, |r| match async_cfg {
+            Some((delta, f, latency)) => {
+                run_one_async(scenario, r, tracing, opts.profile, delta, f, latency)
+            }
+            None => run_one_sync(scenario, r, tracing, opts.profile),
+        });
+
+    let mut sink = match &trace_path {
+        Some(path) => Some(
+            FileSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("cannot create trace {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let mut recorder = LoadRecorder::new(0, 3.0); // per-run warm-up applied above
     let mut strategy_name = String::new();
     let mut ops = 0.0;
     let mut migrated = 0.0;
     let mut final_total = 0;
-    for r in 0..scenario.runs {
-        let seed = scenario.seed.wrapping_add(r as u64);
-        let mut balancer = build_strategy(scenario, seed)?;
-        let mut workload = build_workload(scenario, seed ^ 0x000f_10a7)?;
-        let mut run_recorder = LoadRecorder::new(warmup, 3.0);
-        match plan_for_run(scenario, r) {
-            Some(plan) => {
-                // Synchronous engines take the fault plan as a per-step
-                // crash mask (message faults do not apply to atomic
-                // balancing operations).
-                let injector = FaultInjector::new(plan, scenario.n)?;
-                let mut events = Vec::new();
-                for t in 0..scenario.steps {
-                    workload.events_at(t, &mut events);
-                    balancer.step_masked(&events, &injector.mask_at(t as u64));
-                    run_recorder.record(&balancer.loads());
-                }
-            }
-            None => {
-                drive(
-                    balancer.as_mut(),
-                    workload.as_mut(),
-                    scenario.steps,
-                    |_, b| {
-                        run_recorder.record(&b.loads());
-                    },
-                );
+    let mut stats = AsyncStats::default();
+    let mut lost_load = 0;
+    for outcome in outcomes {
+        let o = outcome?;
+        recorder.merge(&o.recorder);
+        strategy_name = o.strategy;
+        ops += o.ops as f64;
+        migrated += o.migrated as f64;
+        final_total = o.final_total;
+        if let Some(s) = o.stats {
+            stats += s;
+        }
+        lost_load += o.lost;
+        if let Some(sink) = &mut sink {
+            for ev in &o.events {
+                sink.record(ev);
             }
         }
-        recorder.merge(&run_recorder);
-        strategy_name = balancer.name().to_string();
-        ops += balancer.metrics().balance_ops as f64;
-        migrated += balancer.metrics().packets_migrated as f64;
-        final_total = balancer.loads().iter().sum();
+    }
+    if let Some(sink) = &mut sink {
+        sink.flush();
     }
     Ok(Report {
         strategy: strategy_name,
@@ -316,8 +474,12 @@ pub fn execute(scenario: &Scenario) -> Result<Report, String> {
         ops_per_run: ops / scenario.runs as f64,
         migrated_per_run: migrated / scenario.runs as f64,
         final_total,
-        async_stats: None,
-        lost_load: 0,
+        async_stats: if async_cfg.is_some() {
+            Some(stats)
+        } else {
+            None
+        },
+        lost_load,
     })
 }
 
@@ -326,6 +488,11 @@ mod tests {
     use super::*;
     use crate::config::Scenario;
     use dlb_faults::{CrashEvent, FaultPlan};
+
+    /// Default options: sequential, untraced.
+    fn execute(scenario: &Scenario) -> Result<Report, String> {
+        execute_with(scenario, &RunOptions::default())
+    }
 
     fn small_scenario(strategy: StrategyConfig, workload: WorkloadConfig) -> Scenario {
         Scenario {
@@ -337,6 +504,7 @@ mod tests {
             strategy,
             workload,
             faults: None,
+            trace: None,
         }
     }
 
@@ -475,6 +643,72 @@ mod tests {
         let stats = report.async_stats.expect("async stats present");
         assert!(stats.lost_messages > 0, "{stats:?}");
         assert!(report.render().contains("lost messages"));
+    }
+
+    #[test]
+    fn trace_is_byte_identical_across_jobs() {
+        let dir = std::env::temp_dir().join("dlb_cli_trace_test");
+        let mut scenario = small_scenario(
+            StrategyConfig::Full {
+                delta: 1,
+                f: 1.1,
+                c: 4,
+            },
+            WorkloadConfig::Phase {
+                g: (0.1, 0.9),
+                c: (0.1, 0.7),
+                len: (20, 60),
+            },
+        );
+        scenario.runs = 4;
+        let run_with = |jobs: usize, name: &str| {
+            let path = dir.join(name);
+            let opts = RunOptions {
+                trace: Some(path.to_string_lossy().into_owned()),
+                jobs,
+                profile: false,
+            };
+            let report = execute_with(&scenario, &opts).unwrap();
+            (std::fs::read(&path).unwrap(), report)
+        };
+        let (trace1, report1) = run_with(1, "j1.jsonl");
+        let (trace4, report4) = run_with(4, "j4.jsonl");
+        assert!(!trace1.is_empty());
+        assert_eq!(trace1, trace4, "traces must not depend on --jobs");
+        assert_eq!(report1.mean_ratio, report4.mean_ratio);
+        assert_eq!(report1.ops_per_run, report4.ops_per_run);
+        // Every line parses and re-renders byte-identically.
+        let text = String::from_utf8(trace1).unwrap();
+        for line in text.lines() {
+            let ev = dlb_trace::TraceEvent::from_line(line).unwrap();
+            assert_eq!(ev.to_line(), line);
+        }
+        // The trace carries engine events, not just driver samples.
+        assert!(text.contains("\"t\":\"balance\""), "engine events present");
+        assert!(text.contains("\"t\":\"run_start\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn untraced_report_matches_traced_report() {
+        let dir = std::env::temp_dir().join("dlb_cli_trace_inert_test");
+        let scenario = small_scenario(
+            StrategyConfig::Simple { delta: 1, f: 1.2 },
+            WorkloadConfig::Uniform {
+                p_gen: 0.5,
+                p_con: 0.3,
+            },
+        );
+        let plain = execute(&scenario).unwrap();
+        let opts = RunOptions {
+            trace: Some(dir.join("t.jsonl").to_string_lossy().into_owned()),
+            jobs: 2,
+            profile: true,
+        };
+        let traced = execute_with(&scenario, &opts).unwrap();
+        assert_eq!(plain.mean_ratio, traced.mean_ratio, "tracing is inert");
+        assert_eq!(plain.ops_per_run, traced.ops_per_run);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

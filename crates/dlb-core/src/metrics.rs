@@ -99,6 +99,60 @@ impl Metrics {
         }
         metrics_fields!(names)
     };
+
+    /// Per-counter increments since `before` (callers snapshot a `Copy`
+    /// of the metrics at step start and diff at step end). Counters are
+    /// monotone, so saturating subtraction is exact.
+    pub fn delta_from(&self, before: &Metrics) -> Metrics {
+        macro_rules! diff {
+            ($($field:ident),*) => {
+                Metrics { $($field: self.$field.saturating_sub(before.$field)),* }
+            };
+        }
+        metrics_fields!(diff)
+    }
+
+    /// `(name, value)` pairs of the non-zero counters, in declaration
+    /// order — the payload of a trace `StepDelta` event.
+    pub fn nonzero_fields(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! rows {
+            ($($field:ident),*) => {
+                [$((stringify!($field), self.$field)),*]
+            };
+        }
+        metrics_fields!(rows)
+            .into_iter()
+            .filter(|&(_, v)| v != 0)
+            .collect()
+    }
+
+    /// Sets the counter named `name` (the trace decoder's inverse of
+    /// [`Metrics::nonzero_fields`]); `false` if no such counter exists.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        macro_rules! assign {
+            ($($field:ident),*) => {
+                match name {
+                    $(stringify!($field) => self.$field = value,)*
+                    _ => return false,
+                }
+            };
+        }
+        metrics_fields!(assign);
+        true
+    }
+
+    /// Reads the counter named `name`, if it exists.
+    pub fn get_field(&self, name: &str) -> Option<u64> {
+        macro_rules! fetch {
+            ($($field:ident),*) => {
+                match name {
+                    $(stringify!($field) => Some(self.$field),)*
+                    _ => None,
+                }
+            };
+        }
+        metrics_fields!(fetch)
+    }
 }
 
 impl ToJson for Metrics {
@@ -213,6 +267,35 @@ mod tests {
             Metrics::from_json(&dlb_json::Json::Obj(vec![])).unwrap(),
             Metrics::new()
         );
+    }
+
+    #[test]
+    fn delta_and_field_access_round_trip() {
+        let before = Metrics {
+            balance_ops: 2,
+            messages: 10,
+            ..Metrics::new()
+        };
+        let after = Metrics {
+            balance_ops: 5,
+            messages: 10,
+            generated: 4,
+            ..Metrics::new()
+        };
+        let delta = after.delta_from(&before);
+        assert_eq!(
+            delta.nonzero_fields(),
+            vec![("balance_ops", 3), ("generated", 4)]
+        );
+        // Replaying the named deltas onto `before` reproduces `after`.
+        let mut replay = before;
+        for (name, inc) in delta.nonzero_fields() {
+            let cur = replay.get_field(name).expect("known field");
+            assert!(replay.set_field(name, cur + inc));
+        }
+        assert_eq!(replay, after);
+        assert!(!replay.set_field("no_such_counter", 1));
+        assert_eq!(replay.get_field("no_such_counter"), None);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::balance::even_shares;
 use crate::metrics::Metrics;
 use crate::params::Params;
 use crate::strategy::{LoadBalancer, LoadEvent};
+use dlb_trace::{SharedSink, TraceEvent};
 use rand::prelude::*;
 use rand::seq::index::sample;
 use rand_chacha::ChaCha8Rng;
@@ -25,6 +26,8 @@ pub struct SimpleCluster {
     rng: ChaCha8Rng,
     metrics: Metrics,
     initial_total: u64,
+    sink: Option<SharedSink>,
+    step_no: u64,
 }
 
 impl SimpleCluster {
@@ -43,6 +46,18 @@ impl SimpleCluster {
             rng: ChaCha8Rng::seed_from_u64(seed),
             metrics: Metrics::new(),
             initial_total: initial * n as u64,
+            sink: None,
+            step_no: 0,
+        }
+    }
+
+    fn trace_on(&self) -> bool {
+        self.sink.as_ref().is_some_and(|s| s.enabled())
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(&event);
         }
     }
 
@@ -102,17 +117,40 @@ impl SimpleCluster {
         }
         self.metrics.balance_ops += 1;
         self.metrics.messages += members.len() as u64;
+        if self.trace_on() {
+            self.emit(TraceEvent::BalanceInitiated {
+                step: self.step_no,
+                initiator: initiator as u64,
+                partners: members[1..].iter().map(|&p| p as u64).collect(),
+                trigger: self.loads[initiator] as f64 / self.l_old[initiator].max(1) as f64,
+            });
+        }
         let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
         let shares = even_shares(total, members.len());
+        let mut op_packets = 0u64;
         for (&m, &share) in members.iter().zip(shares.iter()) {
-            self.metrics.packets_migrated += self.loads[m].saturating_sub(share);
+            op_packets += self.loads[m].saturating_sub(share);
             self.loads[m] = share;
             self.l_old[m] = share;
+        }
+        self.metrics.packets_migrated += op_packets;
+        if op_packets > 0 && self.trace_on() {
+            self.emit(TraceEvent::PacketsMigrated {
+                step: self.step_no,
+                initiator: initiator as u64,
+                count: op_packets,
+            });
         }
     }
 
     fn step_impl(&mut self, events: &[LoadEvent], down: &[bool]) {
         assert_eq!(events.len(), self.params.n(), "one event per processor");
+        let tracing = self.trace_on();
+        let before = if tracing {
+            self.metrics
+        } else {
+            Metrics::new()
+        };
         for (i, &ev) in events.iter().enumerate() {
             if !down.is_empty() && down[i] {
                 continue; // crashed: no event, no trigger, load frozen
@@ -135,6 +173,21 @@ impl SimpleCluster {
                 LoadEvent::Idle => {}
             }
         }
+        if tracing {
+            let delta = self.metrics.delta_from(&before);
+            let counters: Vec<(String, u64)> = delta
+                .nonzero_fields()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            if !counters.is_empty() {
+                self.emit(TraceEvent::StepDelta {
+                    step: self.step_no,
+                    counters,
+                });
+            }
+        }
+        self.step_no += 1;
     }
 }
 
@@ -165,6 +218,10 @@ impl LoadBalancer for SimpleCluster {
 
     fn name(&self) -> &'static str {
         "spaa93-simple"
+    }
+
+    fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
     }
 }
 

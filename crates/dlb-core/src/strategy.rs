@@ -76,6 +76,11 @@ pub trait LoadBalancer {
 
     /// Short human-readable strategy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Attaches a trace sink receiving structured balancing events.
+    /// The default is a no-op so baselines without instrumentation
+    /// still satisfy the trait; the SPAA'93 engines override it.
+    fn set_trace_sink(&mut self, _sink: dlb_trace::SharedSink) {}
 }
 
 /// Summary statistics of a load distribution snapshot.

@@ -17,7 +17,7 @@
 //! `--smoke` shrinks the matrix to seconds for CI; the default matrix is
 //! the §7 paper scale.
 
-use dlb_core::{ExchangePolicy, Params};
+use dlb_core::{Cluster, ExchangePolicy, LoadBalancer, LoadEvent, Params};
 use dlb_experiments::args::Args;
 use dlb_experiments::faultsweep::{sweep, SweepConfig};
 use dlb_experiments::parallel::default_jobs;
@@ -136,6 +136,34 @@ fn scenarios(smoke: bool) -> Vec<Scenario> {
     ]
 }
 
+/// Times one fixed `Cluster` workload (min over `reps`, which rejects
+/// scheduler noise) and fingerprints its outcome, optionally with a
+/// `NullSink` attached — the "tracing compiled in but disabled" path.
+fn time_cluster_run(n: usize, steps: usize, null_sink: bool, reps: usize) -> (f64, String) {
+    let params = Params::new(n, 1, 1.1, 4).expect("valid");
+    let events = vec![LoadEvent::Generate; n];
+    let mut best = f64::INFINITY;
+    let mut fingerprint = String::new();
+    for _ in 0..reps {
+        let mut cluster = Cluster::with_initial_load(params, 7, 0);
+        if null_sink {
+            cluster.set_trace_sink(dlb_trace::SharedSink::new(dlb_trace::NullSink));
+        }
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            cluster.step(&events);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        let mut sum = Checksum::new();
+        for &l in &cluster.loads() {
+            sum.push_u64(l);
+        }
+        sum.push_u64(cluster.metrics().balance_ops);
+        fingerprint = sum.hex();
+    }
+    (best, fingerprint)
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.flag("smoke");
@@ -190,6 +218,24 @@ fn main() {
     );
     println!("All parallel checksums matched their sequential runs.");
 
+    // Disabled-tracing overhead gate: an engine with a NullSink attached
+    // must behave identically to one with no sink at all and cost < 2%
+    // extra wall clock (the emission guards are a single branch).
+    let (reps, trace_steps) = if smoke { (3, 2_000) } else { (7, 8_000) };
+    let (base_ms, base_fp) = time_cluster_run(64, trace_steps, false, reps);
+    let (null_ms, null_fp) = time_cluster_run(64, trace_steps, true, reps);
+    assert_eq!(base_fp, null_fp, "NullSink changed engine behaviour");
+    let overhead = null_ms / base_ms.max(1e-9);
+    println!(
+        "\ntrace overhead (NullSink vs no sink, {trace_steps} steps, min of {reps}): \
+         {base_ms:.2} ms -> {null_ms:.2} ms ({overhead:.4}x)"
+    );
+    assert!(
+        overhead < 1.02,
+        "disabled tracing must cost < 2%, measured {overhead:.4}x"
+    );
+
+    let ms3 = |x: f64| Json::Float((x * 1000.0).round() / 1000.0);
     let doc = Json::Obj(vec![
         ("bench".into(), "experiments".to_json()),
         (
@@ -198,6 +244,15 @@ fn main() {
         ),
         ("jobs".into(), (jobs as u64).to_json()),
         ("scenarios".into(), Json::Arr(cells)),
+        (
+            "trace_overhead".into(),
+            Json::Obj(vec![
+                ("baseline_ms".into(), ms3(base_ms)),
+                ("null_sink_ms".into(), ms3(null_ms)),
+                ("ratio".into(), ms3(overhead)),
+                ("checksum".into(), base_fp.to_json()),
+            ]),
+        ),
     ]);
     std::fs::write(&out, doc.render_pretty()).expect("JSON written");
     println!("\nwrote {out}");

@@ -3,7 +3,11 @@
 //! `f = 1.1`, `δ = 1`, under both exchange policies.
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin table1_borrow
-//!         [--n 64] [--steps 500] [--runs 100] [--jobs N]`
+//!         [--n 64] [--steps 500] [--runs 100] [--jobs N] [--smoke]`
+//!
+//! `--smoke` shrinks the matrix (n=16, 80 steps, 8 runs) and writes to
+//! `results/table1_smoke.csv` so CI can golden-gate it in seconds
+//! without touching the paper-scale `results/table1.csv`.
 
 use dlb_core::ExchangePolicy;
 use dlb_experiments::args::Args;
@@ -13,11 +17,17 @@ use dlb_experiments::table1::table1_row;
 
 fn main() {
     let args = Args::from_env();
-    let n: usize = args.get("n", 64);
-    let steps: usize = args.get("steps", 500);
-    let runs: usize = args.get("runs", 100);
+    let smoke = args.flag("smoke");
+    let (def_n, def_steps, def_runs, def_out) = if smoke {
+        (16, 80, 8, "results/table1_smoke.csv")
+    } else {
+        (64, 500, 100, "results/table1.csv")
+    };
+    let n: usize = args.get("n", def_n);
+    let steps: usize = args.get("steps", def_steps);
+    let runs: usize = args.get("runs", def_runs);
     let jobs: usize = args.get("jobs", default_jobs());
-    let out: String = args.get("out", "results/table1.csv".to_string());
+    let out: String = args.get("out", def_out.to_string());
 
     println!(
         "Table 1: borrow statistics vs C, per processor per run (f = 1.1, delta = 1, {n} procs, \

@@ -23,6 +23,7 @@
 //! Monte Carlo binaries take `--jobs N` (default: available cores); the
 //! [`parallel`] harness guarantees byte-identical output for every `N`.
 
+pub mod analyze;
 pub mod args;
 pub mod faultsweep;
 pub mod parallel;

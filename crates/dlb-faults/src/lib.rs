@@ -328,6 +328,7 @@ pub struct FaultInjector {
     n: usize,
     rng: ChaCha8Rng,
     stats: FaultStats,
+    sink: Option<dlb_trace::SharedSink>,
 }
 
 impl FaultInjector {
@@ -342,7 +343,28 @@ impl FaultInjector {
             n,
             rng,
             stats: FaultStats::default(),
+            sink: None,
         })
+    }
+
+    /// Attaches a trace sink; every message-level fault the injector
+    /// fires is then emitted as a `FaultInjected` event (crash windows
+    /// are emitted by the substrate that applies them, which knows the
+    /// logical clock the crash lands on).
+    pub fn set_trace_sink(&mut self, sink: dlb_trace::SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    fn emit_fault(&self, now: u64, proc: usize, kind: &str) {
+        if let Some(sink) = &self.sink {
+            if sink.enabled() {
+                sink.record(&dlb_trace::TraceEvent::FaultInjected {
+                    step: now,
+                    proc: proc as u64,
+                    kind: kind.to_string(),
+                });
+            }
+        }
     }
 
     /// The plan being executed.
@@ -419,6 +441,7 @@ impl FaultInjector {
             match class {
                 MessageClass::Control => {
                     self.stats.partition_cuts += 1;
+                    self.emit_fault(now, to, "partition");
                     return MessageFate::Drop;
                 }
                 MessageClass::Transfer => {
@@ -437,8 +460,14 @@ impl FaultInjector {
         };
         if loss > 0.0 && self.rng.gen_bool(loss) {
             match class {
-                MessageClass::Control => self.stats.dropped_control += 1,
-                MessageClass::Transfer => self.stats.dropped_transfers += 1,
+                MessageClass::Control => {
+                    self.stats.dropped_control += 1;
+                    self.emit_fault(now, to, "loss");
+                }
+                MessageClass::Transfer => {
+                    self.stats.dropped_transfers += 1;
+                    self.emit_fault(now, to, "transfer_loss");
+                }
             }
             return MessageFate::Drop;
         }
@@ -447,6 +476,7 @@ impl FaultInjector {
             && self.rng.gen_bool(self.plan.duplication);
         if duplicate {
             self.stats.duplicated += 1;
+            self.emit_fault(now, to, "duplicate");
         }
         let extra_delay = self.jitter_draw();
         if extra_delay > 0 {

@@ -244,6 +244,7 @@ pub struct AsyncNetwork {
     injector: Option<FaultInjector>,
     metrics: Metrics,
     stats: AsyncStats,
+    sink: Option<dlb_trace::SharedSink>,
 }
 
 impl AsyncNetwork {
@@ -262,6 +263,41 @@ impl AsyncNetwork {
             injector: None,
             metrics: Metrics::new(),
             stats: AsyncStats::default(),
+            sink: None,
+        }
+    }
+
+    /// Attaches a trace sink; events are stamped with simulated time.
+    /// The fault injector (if any) gets a handle too, so message-level
+    /// faults appear in the same trace.
+    pub fn set_trace_sink(&mut self, sink: dlb_trace::SharedSink) {
+        if let Some(inj) = self.injector.as_mut() {
+            inj.set_trace_sink(sink.clone());
+        }
+        self.sink = Some(sink);
+    }
+
+    fn trace_on(&self) -> bool {
+        self.sink.as_ref().is_some_and(|s| s.enabled())
+    }
+
+    fn emit(&self, event: dlb_trace::TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(&event);
+        }
+    }
+
+    /// Emits the metrics counters accrued since `before` as a
+    /// `StepDelta` stamped `step`.
+    fn emit_step_delta(&self, before: &Metrics, step: u64) {
+        let delta = self.metrics.delta_from(before);
+        let counters: Vec<(String, u64)> = delta
+            .nonzero_fields()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        if !counters.is_empty() {
+            self.emit(dlb_trace::TraceEvent::StepDelta { step, counters });
         }
     }
 
@@ -375,6 +411,12 @@ impl AsyncNetwork {
     pub fn tick(&mut self, t: u64, actions: &[i8]) {
         assert!(t >= self.now, "time must not run backwards");
         assert_eq!(actions.len(), self.procs.len(), "one action per processor");
+        let tracing = self.trace_on();
+        let before = if tracing {
+            self.metrics
+        } else {
+            Metrics::new()
+        };
         self.drain_until(t);
         self.now = t;
         for (i, &a) in actions.iter().enumerate() {
@@ -400,11 +442,24 @@ impl AsyncNetwork {
                 other => panic!("invalid action {other}; use -1, 0, 1"),
             }
         }
+        if tracing {
+            self.emit_step_delta(&before, t);
+        }
     }
 
     /// Delivers every outstanding message (call at the end of a run).
     pub fn quiesce(&mut self) {
+        let tracing = self.trace_on();
+        let before = if tracing {
+            self.metrics
+        } else {
+            Metrics::new()
+        };
         self.drain_until(u64::MAX);
+        if tracing {
+            // Settle-phase activity after the last tick still counts.
+            self.emit_step_delta(&before, self.now);
+        }
     }
 
     /// Whether any recovery machinery (timeouts, leases) is needed.
@@ -520,6 +575,15 @@ impl AsyncNetwork {
             .iter()
             .map(|x| if x >= i { x + 1 } else { x })
             .collect();
+        if self.trace_on() {
+            let p = &self.procs[i];
+            self.emit(dlb_trace::TraceEvent::BalanceInitiated {
+                step: self.now,
+                initiator: i as u64,
+                partners: partners.iter().map(|&x| x as u64).collect(),
+                trigger: p.load as f64 / p.l_old.max(1) as f64,
+            });
+        }
         let op = self.next_op;
         self.next_op += 1;
         self.procs[i].locked = true;
@@ -554,6 +618,13 @@ impl AsyncNetwork {
         match ev.payload {
             Payload::Crash => {
                 self.stats.crashes += 1;
+                if self.trace_on() {
+                    self.emit(dlb_trace::TraceEvent::FaultInjected {
+                        step: self.now,
+                        proc: ev.to as u64,
+                        kind: "crash".to_string(),
+                    });
+                }
                 let mode = self.crash_mode();
                 let me = &mut self.procs[ev.to];
                 me.down = true;
@@ -574,6 +645,12 @@ impl AsyncNetwork {
             }
             Payload::Recover => {
                 self.stats.recoveries += 1;
+                if self.trace_on() {
+                    self.emit(dlb_trace::TraceEvent::CrashRecovered {
+                        step: self.now,
+                        proc: ev.to as u64,
+                    });
+                }
                 let me = &mut self.procs[ev.to];
                 me.down = false;
                 me.locked = false;
@@ -787,6 +864,13 @@ impl AsyncNetwork {
                     self.in_flight += excess;
                     self.stats.packets_moved += excess;
                     self.metrics.packets_migrated += excess;
+                    if self.trace_on() {
+                        self.emit(dlb_trace::TraceEvent::PacketsMigrated {
+                            step: self.now,
+                            initiator: ev.to as u64,
+                            count: excess,
+                        });
+                    }
                 }
                 self.send(
                     ev.to,
@@ -852,6 +936,13 @@ impl AsyncNetwork {
                 self.in_flight += give;
                 self.stats.packets_moved += give;
                 self.metrics.packets_migrated += give;
+                if self.trace_on() {
+                    self.emit(dlb_trace::TraceEvent::PacketsMigrated {
+                        step: self.now,
+                        initiator: initiator as u64,
+                        count: give,
+                    });
+                }
                 self.send(
                     initiator,
                     member,

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use crate::rng::stream;
 use dlb_faults::{CrashMode, FaultInjector, FaultPlan};
+use dlb_trace::{merge_by_clock, SharedSink, TraceEvent};
 use rand::prelude::*;
 use rand::seq::index::sample;
 
@@ -114,6 +115,9 @@ impl RuntimeStats {
     }
 }
 
+/// One worker's private, clock-stamped trace event buffer.
+type TraceBuf = Mutex<Vec<(u64, TraceEvent)>>;
+
 struct WorkerState<T> {
     queue: VecDeque<T>,
     l_old: u64,
@@ -134,6 +138,23 @@ struct Shared<'a, T> {
     crashes: &'a AtomicU64,
     recoveries: &'a AtomicU64,
     processed: &'a [AtomicU64],
+    /// Per-worker trace buffers (one per node, locked independently so
+    /// tracing never serialises the workers).  `None` when untraced.
+    trace: Option<&'a [TraceBuf]>,
+}
+
+impl<T> Shared<'_, T> {
+    /// Stamps `event` with the logical `clock` and appends it to worker
+    /// `id`'s private buffer.  No-op when tracing is off.
+    fn emit(&self, id: usize, clock: u64, event: TraceEvent) {
+        if let Some(bufs) = self.trace {
+            bufs[id].lock().push((clock, event));
+        }
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
 }
 
 /// The threaded runtime.
@@ -175,6 +196,44 @@ impl ThreadedRuntime {
         T: Send,
         F: Fn(usize, T, &mut Vec<T>) + Sync,
     {
+        Self::run_inner(config, initial, plan, handler, None)
+    }
+
+    /// Like [`ThreadedRuntime::run_with_faults`], but recording trace
+    /// events into `sink`.
+    ///
+    /// Each worker buffers its events privately, stamped with the
+    /// logical clock (total packets processed); after the run the
+    /// per-node buffers are merged deterministically by
+    /// [`dlb_trace::merge_by_clock`] — ordered by `(clock, worker,
+    /// emission order)` — and written to the sink in one pass.  The
+    /// *merge* is deterministic; which events occur still depends on OS
+    /// scheduling, as the module docs explain.
+    pub fn run_traced<T, F>(
+        config: RuntimeConfig,
+        initial: Vec<T>,
+        plan: FaultPlan,
+        handler: F,
+        sink: SharedSink,
+    ) -> RuntimeStats
+    where
+        T: Send,
+        F: Fn(usize, T, &mut Vec<T>) + Sync,
+    {
+        Self::run_inner(config, initial, plan, handler, Some(sink))
+    }
+
+    fn run_inner<T, F>(
+        config: RuntimeConfig,
+        initial: Vec<T>,
+        plan: FaultPlan,
+        handler: F,
+        sink: Option<SharedSink>,
+    ) -> RuntimeStats
+    where
+        T: Send,
+        F: Fn(usize, T, &mut Vec<T>) + Sync,
+    {
         config.validate().expect("valid runtime configuration");
         let injector = FaultInjector::new(plan, config.workers).expect("valid fault plan");
         let n = config.workers;
@@ -202,6 +261,11 @@ impl ThreadedRuntime {
                 .collect()
         };
 
+        let trace_bufs: Option<Vec<TraceBuf>> = sink
+            .as_ref()
+            .filter(|s| s.enabled())
+            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect());
+
         let shared = Shared {
             workers: &workers,
             injector: &injector,
@@ -214,6 +278,7 @@ impl ThreadedRuntime {
             crashes: &crashes,
             recoveries: &recoveries,
             processed: &processed,
+            trace: trace_bufs.as_deref(),
         };
 
         std::thread::scope(|scope| {
@@ -223,6 +288,15 @@ impl ThreadedRuntime {
                 scope.spawn(move || Self::worker_loop(config, id, shared, handler));
             }
         });
+
+        if let (Some(sink), Some(bufs)) = (&sink, trace_bufs) {
+            let per_node: Vec<Vec<(u64, TraceEvent)>> =
+                bufs.into_iter().map(|m| m.into_inner()).collect();
+            for event in merge_by_clock(per_node) {
+                sink.record(&event);
+            }
+            sink.flush();
+        }
 
         RuntimeStats {
             processed: processed
@@ -255,6 +329,15 @@ impl ThreadedRuntime {
                 if !was_down {
                     was_down = true;
                     shared.crashes.fetch_add(1, Ordering::Relaxed);
+                    shared.emit(
+                        id,
+                        now,
+                        TraceEvent::FaultInjected {
+                            step: now,
+                            proc: id as u64,
+                            kind: "crash".to_string(),
+                        },
+                    );
                     if shared.injector.crash_mode() == CrashMode::Lost {
                         // Fail-stop with state loss: the queue dies with
                         // the worker.
@@ -281,6 +364,14 @@ impl ThreadedRuntime {
                 // unless the system is mid-heal) and re-baseline l_old.
                 was_down = false;
                 shared.recoveries.fetch_add(1, Ordering::Relaxed);
+                shared.emit(
+                    id,
+                    now,
+                    TraceEvent::CrashRecovered {
+                        step: now,
+                        proc: id as u64,
+                    },
+                );
                 let mut st = shared.workers[id].lock();
                 let len = st.queue.len() as u64;
                 st.l_old = len;
@@ -344,6 +435,22 @@ impl ThreadedRuntime {
             }
         }));
         members.sort_unstable(); // lock order prevents deadlock
+        if shared.tracing() {
+            shared.emit(
+                id,
+                shared.clock.load(Ordering::SeqCst),
+                TraceEvent::BalanceInitiated {
+                    step: shared.clock.load(Ordering::SeqCst),
+                    initiator: id as u64,
+                    partners: members
+                        .iter()
+                        .filter(|&&m| m != id)
+                        .map(|&m| m as u64)
+                        .collect(),
+                    trigger: len as f64 / l_old.max(1) as f64,
+                },
+            );
+        }
         let mut guards: Vec<_> = members.iter().map(|&m| shared.workers[m].lock()).collect();
 
         // Death detection under the locks: dead members never receive a
@@ -382,9 +489,19 @@ impl ThreadedRuntime {
                 buffer.push(guards[k].queue.pop_back().expect("len checked"));
             }
         }
-        shared
-            .packets_moved
-            .fetch_add(buffer.len() as u64, Ordering::Relaxed);
+        let moved = buffer.len() as u64;
+        shared.packets_moved.fetch_add(moved, Ordering::Relaxed);
+        if moved > 0 && shared.tracing() {
+            shared.emit(
+                id,
+                now,
+                TraceEvent::PacketsMigrated {
+                    step: now,
+                    initiator: id as u64,
+                    count: moved,
+                },
+            );
+        }
         for (&k, &share) in alive.iter().zip(shares.iter()) {
             while guards[k].queue.len() < share {
                 guards[k]
@@ -559,6 +676,81 @@ mod tests {
         assert_eq!(stats.total_processed() + stats.lost_packets, 800);
         assert_eq!(stats.processed[0], 0, "the dead worker processed nothing");
         assert!(stats.crashes >= 1);
+    }
+
+    #[test]
+    fn traced_run_mirrors_stats_and_merges_in_clock_order() {
+        let buf = dlb_trace::BufferSink::new();
+        let stats = ThreadedRuntime::run_traced(
+            config(4),
+            vec![10u32],
+            FaultPlan::reliable(),
+            |_, depth, spawn| {
+                std::hint::black_box((0..500u64).sum::<u64>());
+                if depth > 0 {
+                    spawn.push(depth - 1);
+                    spawn.push(depth - 1);
+                }
+            },
+            buf.handle(),
+        );
+        let events = buf.take();
+        let balance_events = events
+            .iter()
+            .filter(|e| matches!(e, dlb_trace::TraceEvent::BalanceInitiated { .. }))
+            .count() as u64;
+        assert_eq!(balance_events, stats.balance_ops);
+        let moved: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                dlb_trace::TraceEvent::PacketsMigrated { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(moved, stats.packets_moved);
+        // merge_by_clock output is non-decreasing in the logical clock.
+        let steps: Vec<u64> = events.iter().filter_map(|e| e.step()).collect();
+        assert!(steps.windows(2).all(|w| w[0] <= w[1]), "{steps:?}");
+    }
+
+    #[test]
+    fn null_sink_traced_run_buffers_nothing() {
+        let sink = dlb_trace::SharedSink::new(dlb_trace::NullSink);
+        let stats = ThreadedRuntime::run_traced(
+            config(2),
+            (0..200u32).collect(),
+            FaultPlan::reliable(),
+            |_, _, _| {},
+            sink,
+        );
+        assert_eq!(stats.total_processed(), 200);
+    }
+
+    #[test]
+    fn traced_crash_emits_fault_events() {
+        let plan = FaultPlan {
+            crash_mode: CrashMode::Frozen,
+            crashes: vec![CrashEvent {
+                proc: 1,
+                at: 0,
+                recover_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let buf = dlb_trace::BufferSink::new();
+        let stats = ThreadedRuntime::run_traced(
+            config(4),
+            (0..800u32).collect(),
+            plan,
+            |_, _, _| {},
+            buf.handle(),
+        );
+        let events = buf.take();
+        let faults = events
+            .iter()
+            .filter(|e| matches!(e, dlb_trace::TraceEvent::FaultInjected { .. }))
+            .count() as u64;
+        assert_eq!(faults, stats.crashes);
     }
 
     #[test]

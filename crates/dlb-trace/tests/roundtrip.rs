@@ -1,0 +1,138 @@
+//! Property tests: every `TraceEvent` survives event → JSONL → event,
+//! and the re-rendered line is byte-identical to the first rendering
+//! (the invariant the CI trace-schema gate relies on).
+
+use dlb_trace::TraceEvent;
+use proptest::prelude::*;
+
+const STRATEGY_NAMES: [&str; 4] = ["spaa93-full", "spaa93-simple", "random", "async"];
+const FAULT_KINDS: [&str; 4] = ["loss", "transfer_loss", "duplicate", "crash"];
+const COUNTER_NAMES: [&str; 6] = [
+    "balance_ops",
+    "packets_migrated",
+    "markers_migrated",
+    "messages",
+    "generated",
+    "consumed",
+];
+
+fn check(ev: TraceEvent) -> Result<(), TestCaseError> {
+    let line = ev.to_line();
+    let back = TraceEvent::from_line(&line)
+        .map_err(|e| TestCaseError::fail(format!("parse failed: {e} on {line}")))?;
+    prop_assert_eq!(&ev, &back, "value round-trip, line: {}", line);
+    prop_assert_eq!(&line, &back.to_line(), "byte round-trip");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn run_started_round_trips(
+        run in any::<u64>(),
+        seed in any::<u64>(),
+        n in any::<u64>(),
+        name_idx in 0usize..STRATEGY_NAMES.len(),
+        delta in any::<u64>(),
+        // Mix fractional and whole-valued f (whole f64s render as bare
+        // integers and must decode back losslessly).
+        f_int in 0u32..8,
+        f_frac in 0f64..1.0,
+        whole in any::<bool>(),
+        c in any::<u64>(),
+    ) {
+        let f = f_int as f64 + if whole { 0.0 } else { f_frac };
+        check(TraceEvent::RunStarted {
+            run, seed, n,
+            strategy: STRATEGY_NAMES[name_idx].to_string(),
+            delta, f, c,
+        })?;
+    }
+
+    #[test]
+    fn balance_initiated_round_trips(
+        step in any::<u64>(),
+        initiator in any::<u64>(),
+        partners in prop::collection::vec(any::<u64>(), 0..8),
+        t_int in 0u32..1000,
+        t_frac in 0f64..1.0,
+        whole in any::<bool>(),
+    ) {
+        let trigger = t_int as f64 + if whole { 0.0 } else { t_frac };
+        check(TraceEvent::BalanceInitiated { step, initiator, partners, trigger })?;
+    }
+
+    #[test]
+    fn packets_migrated_round_trips(
+        step in any::<u64>(),
+        initiator in any::<u64>(),
+        count in any::<u64>(),
+    ) {
+        check(TraceEvent::PacketsMigrated { step, initiator, count })?;
+    }
+
+    #[test]
+    fn marker_moved_round_trips(
+        step in any::<u64>(),
+        initiator in any::<u64>(),
+        count in any::<u64>(),
+    ) {
+        check(TraceEvent::MarkerMoved { step, initiator, count })?;
+    }
+
+    #[test]
+    fn fault_injected_round_trips(
+        step in any::<u64>(),
+        proc in any::<u64>(),
+        kind_idx in 0usize..FAULT_KINDS.len(),
+    ) {
+        check(TraceEvent::FaultInjected {
+            step, proc,
+            kind: FAULT_KINDS[kind_idx].to_string(),
+        })?;
+    }
+
+    #[test]
+    fn crash_recovered_round_trips(step in any::<u64>(), proc in any::<u64>()) {
+        check(TraceEvent::CrashRecovered { step, proc })?;
+    }
+
+    #[test]
+    fn step_profile_round_trips(
+        step in any::<u64>(),
+        wall_ns in any::<u64>(),
+        ops in any::<u64>(),
+    ) {
+        check(TraceEvent::StepProfile { step, wall_ns, ops })?;
+    }
+
+    #[test]
+    fn step_delta_round_trips(
+        step in any::<u64>(),
+        picks in prop::collection::vec((0usize..COUNTER_NAMES.len(), any::<u64>()), 0..6),
+    ) {
+        // One entry per distinct counter, like the emitter produces
+        // (duplicate object keys would not survive a round-trip).
+        let mut seen = std::collections::HashSet::new();
+        let counters: Vec<(String, u64)> = picks
+            .into_iter()
+            .filter(|(i, _)| seen.insert(*i))
+            .map(|(i, v)| (COUNTER_NAMES[i].to_string(), v))
+            .collect();
+        check(TraceEvent::StepDelta { step, counters })?;
+    }
+
+    #[test]
+    fn load_sample_round_trips(
+        step in any::<u64>(),
+        min in any::<u64>(),
+        max in any::<u64>(),
+        total in any::<u64>(),
+    ) {
+        check(TraceEvent::LoadSample { step, min, max, total })?;
+    }
+
+    #[test]
+    fn run_finished_round_trips(run in any::<u64>()) {
+        check(TraceEvent::RunFinished { run })?;
+    }
+}
