@@ -1,17 +1,25 @@
 //! Cost of the balancing primitive (the δ+1-way snake distribution of the
-//! appendix) as class count and group size vary.
+//! appendix) as class count and group size vary, plus the allocation-free
+//! `_into` variants the PR-4 engines call on their hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dlb_core::balance::{distribute_capped, distribute_classes, even_shares};
+use dlb_core::balance::{
+    distribute_capped, distribute_capped_into, distribute_classes, distribute_classes_flat_with,
+    even_shares, even_shares_into,
+};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 
+fn class_totals(classes: usize) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    (0..classes).map(|_| rng.gen_range(0..50)).collect()
+}
+
 fn bench_distribute(c: &mut Criterion) {
     let mut group = c.benchmark_group("balance_op/distribute_classes");
-    for &(classes, members) in &[(64usize, 2usize), (64, 5), (256, 5), (1024, 9)] {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let totals: Vec<u64> = (0..classes).map(|_| rng.gen_range(0..50)).collect();
+    for &(classes, members) in &[(64usize, 2usize), (64, 5), (256, 5), (512, 9), (1024, 9)] {
+        let totals = class_totals(classes);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{classes}cls_{members}mem")),
             &(totals, members),
@@ -28,15 +36,58 @@ fn bench_distribute(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // The flat scratch-buffer variant the optimized Cluster uses: same
+    // distribution, zero allocations per call once the buffers are warm.
+    let mut group = c.benchmark_group("balance_op/distribute_classes_flat");
+    for &(classes, members) in &[(64usize, 2usize), (512, 9), (4096, 9)] {
+        let totals = class_totals(classes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{classes}cls_{members}mem")),
+            &(totals, members),
+            |b, (totals, members)| {
+                let mut running = vec![0u64; *members];
+                let mut out = Vec::new();
+                let mut order = Vec::new();
+                b.iter(|| {
+                    running.iter_mut().for_each(|r| *r = 0);
+                    distribute_classes_flat_with(
+                        black_box(totals),
+                        *members,
+                        &mut running,
+                        &mut out,
+                        &mut order,
+                    );
+                    black_box(&out);
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_even_shares(c: &mut Criterion) {
     c.bench_function("balance_op/even_shares_1k", |b| {
         b.iter(|| black_box(even_shares(black_box(100_003), black_box(9))))
     });
+    c.bench_function("balance_op/even_shares_into", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            even_shares_into(black_box(100_003), black_box(9), &mut out);
+            black_box(&out);
+        })
+    });
     c.bench_function("balance_op/distribute_capped", |b| {
         let caps = vec![4u64; 16];
         b.iter(|| black_box(distribute_capped(black_box(40), black_box(&caps))))
+    });
+    c.bench_function("balance_op/distribute_capped_into", |b| {
+        let caps = vec![4u64; 16];
+        let mut out = Vec::new();
+        b.iter(|| {
+            distribute_capped_into(black_box(40), black_box(&caps), &mut out);
+            black_box(&out);
+        })
     });
 }
 

@@ -17,12 +17,19 @@
 /// Evenly splits `total` into `m` shares differing by at most one,
 /// listing the `total mod m` larger shares first.
 pub fn even_shares(total: u64, m: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(m);
+    even_shares_into(total, m, &mut out);
+    out
+}
+
+/// [`even_shares`] into a caller-owned buffer (cleared first) — the
+/// hot-path form used by the engines' reusable scratch space.
+pub fn even_shares_into(total: u64, m: usize, out: &mut Vec<u64>) {
     assert!(m > 0, "cannot split over an empty group");
     let base = total / m as u64;
     let extras = (total % m as u64) as usize;
-    (0..m)
-        .map(|i| if i < extras { base + 1 } else { base })
-        .collect()
+    out.clear();
+    out.extend((0..m).map(|i| if i < extras { base + 1 } else { base }));
 }
 
 /// Allocation-free core of [`distribute_classes`]: writes the shares into
@@ -33,11 +40,25 @@ pub fn distribute_classes_flat(
     running: &mut [u64],
     out: &mut Vec<u64>,
 ) {
+    let mut order = Vec::with_capacity(m);
+    distribute_classes_flat_with(class_totals, m, running, out, &mut order);
+}
+
+/// [`distribute_classes_flat`] with a caller-owned scratch buffer for the
+/// extras ordering, so repeated calls allocate nothing.
+pub fn distribute_classes_flat_with(
+    class_totals: &[u64],
+    m: usize,
+    running: &mut [u64],
+    out: &mut Vec<u64>,
+    order: &mut Vec<usize>,
+) {
     assert!(m > 0);
     assert_eq!(running.len(), m);
     out.clear();
     out.resize(class_totals.len() * m, 0);
-    let mut order: Vec<usize> = (0..m).collect();
+    order.clear();
+    order.extend(0..m);
     for (c, &total) in class_totals.iter().enumerate() {
         let base = total / m as u64;
         let extras = (total % m as u64) as usize;
@@ -89,12 +110,20 @@ pub fn distribute_classes(class_totals: &[u64], m: usize, running: &mut [u64]) -
 ///
 /// Panics if `total` exceeds the aggregate capacity.
 pub fn distribute_capped(total: u64, caps: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(caps.len());
+    distribute_capped_into(total, caps, &mut out);
+    out
+}
+
+/// [`distribute_capped`] into a caller-owned buffer (cleared first).
+pub fn distribute_capped_into(total: u64, caps: &[u64], out: &mut Vec<u64>) {
     let capacity: u64 = caps.iter().sum();
     assert!(
         total <= capacity,
         "insufficient capacity: {total} > {capacity}"
     );
-    let mut out = vec![0u64; caps.len()];
+    out.clear();
+    out.resize(caps.len(), 0);
     let mut remaining = total;
     while remaining > 0 {
         let idx = (0..caps.len())
@@ -104,7 +133,6 @@ pub fn distribute_capped(total: u64, caps: &[u64]) -> Vec<u64> {
         out[idx] += 1;
         remaining -= 1;
     }
-    out
 }
 
 /// `max − min` of a slice (0 for empty input).

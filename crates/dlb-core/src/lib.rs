@@ -50,6 +50,8 @@ pub mod metrics;
 pub mod one_proc;
 pub mod params;
 pub mod recorder;
+#[doc(hidden)]
+pub mod reference;
 pub mod simple;
 pub mod snapshot;
 pub mod strategy;

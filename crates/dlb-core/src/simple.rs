@@ -8,14 +8,20 @@
 //! concurrent Prolog, graphics) actually ran; the virtual-class machinery
 //! of [`crate::cluster`] exists to make the analysis of Theorem 4 go
 //! through.  Comparing the two is the `ablation` experiment.
+//!
+//! Hot-path note: the alive-candidate list used under a crash mask is
+//! cached and rebuilt only when the mask changes (checked once per step,
+//! not per balancing operation), and partner draws / share splits write
+//! into reusable scratch buffers — steady-state stepping allocates
+//! nothing.  Behaviour is bit-identical to the dense reference
+//! implementation in [`crate::reference`] (see `tests/opt_equivalence.rs`).
 
-use crate::balance::even_shares;
+use crate::balance::even_shares_into;
 use crate::metrics::Metrics;
 use crate::params::Params;
 use crate::strategy::{LoadBalancer, LoadEvent};
 use dlb_trace::{SharedSink, TraceEvent};
 use rand::prelude::*;
-use rand::seq::index::sample;
 use rand_chacha::ChaCha8Rng;
 
 /// The practical raw-load balancer.
@@ -26,6 +32,15 @@ pub struct SimpleCluster {
     rng: ChaCha8Rng,
     metrics: Metrics,
     initial_total: u64,
+    /// The crash mask the alive-candidate cache was built from.
+    mask_cache: Vec<bool>,
+    /// Sorted processors alive under `mask_cache`.
+    alive: Vec<usize>,
+    /// Whether the current step's mask has any down processor.
+    any_down: bool,
+    scratch_members: Vec<usize>,
+    scratch_shares: Vec<u64>,
+    scratch_sample: Vec<usize>,
     sink: Option<SharedSink>,
     step_no: u64,
 }
@@ -46,6 +61,12 @@ impl SimpleCluster {
             rng: ChaCha8Rng::seed_from_u64(seed),
             metrics: Metrics::new(),
             initial_total: initial * n as u64,
+            mask_cache: vec![false; n],
+            alive: (0..n).collect(),
+            any_down: false,
+            scratch_members: Vec::new(),
+            scratch_shares: Vec::new(),
+            scratch_sample: Vec::new(),
             sink: None,
             step_no: 0,
         }
@@ -78,43 +99,71 @@ impl SimpleCluster {
         if total != expect {
             return Err(format!("global load {total} != expected {expect}"));
         }
+        let alive_expect = self.mask_cache.iter().filter(|&&d| !d).count();
+        if self.alive.len() != alive_expect {
+            return Err(format!(
+                "alive cache holds {} processors, mask says {alive_expect}",
+                self.alive.len()
+            ));
+        }
         Ok(())
     }
 
-    fn trigger_check(&mut self, i: usize, down: &[bool]) {
+    fn trigger_check(&mut self, i: usize) {
         let cur = self.loads[i];
         let last = self.l_old[i];
         if self.params.grow_triggered(cur, last) || self.params.shrink_triggered(cur, last) {
-            self.full_balance(i, down);
+            self.full_balance(i);
         }
     }
 
-    /// `down` is empty (no crash mask) or one flag per processor; down
-    /// processors are never picked as partners.
-    fn full_balance(&mut self, initiator: usize, down: &[bool]) {
+    /// The vendored `rand::seq::index::sample` Floyd loop, inlined into a
+    /// scratch buffer so partner draws are allocation-free while consuming
+    /// the RNG identically.
+    fn draw_sample(&mut self, length: usize, amount: usize, raw: &mut Vec<usize>) {
+        raw.clear();
+        for j in (length - amount)..length {
+            let t = self.rng.gen_range(0..=j);
+            if raw.contains(&t) {
+                raw.push(j);
+            } else {
+                raw.push(t);
+            }
+        }
+    }
+
+    /// Balances the initiator with `δ` random alive partners.  Down
+    /// processors (per the mask cached by the current step) are never
+    /// picked.
+    fn full_balance(&mut self, initiator: usize) {
         let n = self.params.n();
         let delta = self.params.delta();
-        let mut members: Vec<usize> = vec![initiator];
-        if down.iter().any(|&d| d) {
-            let candidates: Vec<usize> = (0..n).filter(|&p| p != initiator && !down[p]).collect();
-            if candidates.is_empty() {
+        let mut members = std::mem::take(&mut self.scratch_members);
+        let mut raw = std::mem::take(&mut self.scratch_sample);
+        members.clear();
+        members.push(initiator);
+        if self.any_down {
+            // Candidates = alive processors minus the initiator (who is
+            // alive, or it could not have acted), in sorted order — the
+            // cached `alive` list with one index skipped.
+            let cand_len = self.alive.len() - 1;
+            if cand_len == 0 {
+                self.scratch_members = members;
+                self.scratch_sample = raw;
                 return; // nobody alive to balance with
             }
-            let k = delta.min(candidates.len());
-            members.extend(
-                sample(&mut self.rng, candidates.len(), k)
-                    .iter()
-                    .map(|x| candidates[x]),
-            );
+            let pos = self
+                .alive
+                .binary_search(&initiator)
+                .expect("initiator is alive");
+            let k = delta.min(cand_len);
+            self.draw_sample(cand_len, k, &mut raw);
+            members.extend(raw.iter().map(|&x| self.alive[x + usize::from(x >= pos)]));
         } else {
-            members.extend(sample(&mut self.rng, n - 1, delta).iter().map(|x| {
-                if x >= initiator {
-                    x + 1
-                } else {
-                    x
-                }
-            }));
+            self.draw_sample(n - 1, delta, &mut raw);
+            members.extend(raw.iter().map(|&x| if x >= initiator { x + 1 } else { x }));
         }
+        self.scratch_sample = raw;
         self.metrics.balance_ops += 1;
         self.metrics.messages += members.len() as u64;
         if self.trace_on() {
@@ -126,13 +175,16 @@ impl SimpleCluster {
             });
         }
         let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
-        let shares = even_shares(total, members.len());
+        let mut shares = std::mem::take(&mut self.scratch_shares);
+        even_shares_into(total, members.len(), &mut shares);
         let mut op_packets = 0u64;
         for (&m, &share) in members.iter().zip(shares.iter()) {
             op_packets += self.loads[m].saturating_sub(share);
             self.loads[m] = share;
             self.l_old[m] = share;
         }
+        self.scratch_shares = shares;
+        self.scratch_members = members;
         self.metrics.packets_migrated += op_packets;
         if op_packets > 0 && self.trace_on() {
             self.emit(TraceEvent::PacketsMigrated {
@@ -145,6 +197,20 @@ impl SimpleCluster {
 
     fn step_impl(&mut self, events: &[LoadEvent], down: &[bool]) {
         assert_eq!(events.len(), self.params.n(), "one event per processor");
+        // The mask is fixed for the whole step: refresh the alive cache
+        // once here (only when the mask actually changed), not per
+        // balancing operation.
+        if down.is_empty() {
+            self.any_down = false;
+        } else {
+            if down != self.mask_cache.as_slice() {
+                self.mask_cache.clear();
+                self.mask_cache.extend_from_slice(down);
+                self.alive.clear();
+                self.alive.extend((0..down.len()).filter(|&p| !down[p]));
+            }
+            self.any_down = down.iter().any(|&d| d);
+        }
         let tracing = self.trace_on();
         let before = if tracing {
             self.metrics
@@ -159,13 +225,13 @@ impl SimpleCluster {
                 LoadEvent::Generate => {
                     self.loads[i] += 1;
                     self.metrics.generated += 1;
-                    self.trigger_check(i, down);
+                    self.trigger_check(i);
                 }
                 LoadEvent::Consume => {
                     if self.loads[i] > 0 {
                         self.loads[i] -= 1;
                         self.metrics.consumed += 1;
-                        self.trigger_check(i, down);
+                        self.trigger_check(i);
                     } else {
                         self.metrics.consume_blocked += 1;
                     }
@@ -198,6 +264,11 @@ impl LoadBalancer for SimpleCluster {
 
     fn loads(&self) -> Vec<u64> {
         self.loads.clone()
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
     }
 
     fn step(&mut self, events: &[LoadEvent]) {
@@ -350,6 +421,29 @@ mod tests {
             c.loads()
         };
         assert_eq!(run(true), run(false), "all-alive mask is a no-op");
+    }
+
+    #[test]
+    fn alive_cache_survives_mask_flips() {
+        // Alternate between masks so the cache is rebuilt, reused, and
+        // bypassed (all-alive), interleaved with plain steps.
+        let params = Params::paper_section7(8);
+        let mut cluster = SimpleCluster::with_initial_load(params, 4, 30);
+        let events = vec![LoadEvent::Generate; 8];
+        let mut down_a = vec![false; 8];
+        down_a[1] = true;
+        let mut down_b = vec![false; 8];
+        down_b[1] = true;
+        down_b[5] = true;
+        for round in 0..50 {
+            match round % 4 {
+                0 => cluster.step_masked(&events, &down_a),
+                1 => cluster.step_masked(&events, &down_b),
+                2 => cluster.step_masked(&events, &[false; 8]),
+                _ => cluster.step(&events),
+            }
+            cluster.check_invariants().unwrap();
+        }
     }
 
     #[test]

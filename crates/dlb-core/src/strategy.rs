@@ -50,6 +50,16 @@ pub trait LoadBalancer {
     /// Current number of packets on each processor.
     fn loads(&self) -> Vec<u64>;
 
+    /// Writes the current loads into a caller-owned buffer (cleared
+    /// first).  The default delegates to [`LoadBalancer::loads`]; engines
+    /// on the hot path override it to avoid the per-call allocation —
+    /// per-step observers (quality curves, distribution snapshots) call
+    /// this with one reusable buffer per run.
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads());
+    }
+
     /// Advances one global time step; `events[i]` is processor `i`'s
     /// action.  `events.len()` must equal [`LoadBalancer::n`].
     fn step(&mut self, events: &[LoadEvent]);

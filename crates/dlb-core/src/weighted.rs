@@ -14,17 +14,30 @@ use crate::metrics::Metrics;
 use crate::params::Params;
 use crate::strategy::{LoadBalancer, LoadEvent};
 use rand::prelude::*;
-use rand::seq::index::sample;
 use rand_chacha::ChaCha8Rng;
 
 /// Splits `total` proportionally to `weights` (largest-remainder method;
 /// exact conservation, shares within one packet of the real proportion).
 pub fn proportional_shares(total: u64, weights: &[u64]) -> Vec<u64> {
+    let mut shares = Vec::with_capacity(weights.len());
+    let mut remainders = Vec::with_capacity(weights.len());
+    proportional_shares_into(total, weights, &mut shares, &mut remainders);
+    shares
+}
+
+/// [`proportional_shares`] into caller-owned buffers (both cleared
+/// first); `remainders` is pure scratch for the largest-remainder sort.
+pub fn proportional_shares_into(
+    total: u64,
+    weights: &[u64],
+    shares: &mut Vec<u64>,
+    remainders: &mut Vec<(u64, usize)>,
+) {
     assert!(!weights.is_empty(), "need at least one member");
     let weight_sum: u64 = weights.iter().sum();
     assert!(weight_sum > 0, "total weight must be positive");
-    let mut shares: Vec<u64> = Vec::with_capacity(weights.len());
-    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
+    shares.clear();
+    remainders.clear();
     let mut assigned = 0u64;
     for (i, &w) in weights.iter().enumerate() {
         let exact_num = (total as u128) * (w as u128);
@@ -34,12 +47,13 @@ pub fn proportional_shares(total: u64, weights: &[u64]) -> Vec<u64> {
         remainders.push((rem, i));
         assigned += share;
     }
-    // Hand the leftover packets to the largest remainders.
-    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    // Hand the leftover packets to the largest remainders.  The index
+    // tiebreak makes the comparator a total order, so the unstable sort
+    // (no allocation, unlike the stable one) is deterministic.
+    remainders.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     for k in 0..(total - assigned) as usize {
         shares[remainders[k].1] += 1;
     }
-    shares
 }
 
 /// The practical balancer for heterogeneous processor speeds.
@@ -51,6 +65,11 @@ pub struct WeightedCluster {
     l_old: Vec<u64>,
     rng: ChaCha8Rng,
     metrics: Metrics,
+    scratch_members: Vec<usize>,
+    scratch_weights: Vec<u64>,
+    scratch_shares: Vec<u64>,
+    scratch_rem: Vec<(u64, usize)>,
+    scratch_sample: Vec<usize>,
 }
 
 impl WeightedCluster {
@@ -70,6 +89,11 @@ impl WeightedCluster {
             l_old: vec![0; n],
             rng: ChaCha8Rng::seed_from_u64(seed),
             metrics: Metrics::new(),
+            scratch_members: Vec::new(),
+            scratch_weights: Vec::new(),
+            scratch_shares: Vec::new(),
+            scratch_rem: Vec::new(),
+            scratch_sample: Vec::new(),
         }
     }
 
@@ -108,23 +132,40 @@ impl WeightedCluster {
         self.metrics.balance_ops += 1;
         let n = self.params.n();
         let delta = self.params.delta();
-        let mut members: Vec<usize> = vec![initiator];
-        members.extend(sample(&mut self.rng, n - 1, delta).iter().map(|x| {
-            if x >= initiator {
-                x + 1
+        let mut members = std::mem::take(&mut self.scratch_members);
+        let mut raw = std::mem::take(&mut self.scratch_sample);
+        members.clear();
+        members.push(initiator);
+        // The vendored Floyd sampling loop, inlined into scratch so the
+        // draw is allocation-free with identical RNG consumption.
+        raw.clear();
+        for j in (n - 1 - delta)..(n - 1) {
+            let t = self.rng.gen_range(0..=j);
+            if raw.contains(&t) {
+                raw.push(j);
             } else {
-                x
+                raw.push(t);
             }
-        }));
+        }
+        members.extend(raw.iter().map(|&x| if x >= initiator { x + 1 } else { x }));
+        self.scratch_sample = raw;
         self.metrics.messages += members.len() as u64;
         let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
-        let weights: Vec<u64> = members.iter().map(|&m| self.speeds[m]).collect();
-        let shares = proportional_shares(total, &weights);
+        let mut weights = std::mem::take(&mut self.scratch_weights);
+        weights.clear();
+        weights.extend(members.iter().map(|&m| self.speeds[m]));
+        let mut shares = std::mem::take(&mut self.scratch_shares);
+        let mut rem = std::mem::take(&mut self.scratch_rem);
+        proportional_shares_into(total, &weights, &mut shares, &mut rem);
         for (&m, &share) in members.iter().zip(shares.iter()) {
             self.metrics.packets_migrated += self.loads[m].saturating_sub(share);
             self.loads[m] = share;
             self.l_old[m] = share;
         }
+        self.scratch_weights = weights;
+        self.scratch_shares = shares;
+        self.scratch_rem = rem;
+        self.scratch_members = members;
     }
 }
 
@@ -135,6 +176,11 @@ impl LoadBalancer for WeightedCluster {
 
     fn loads(&self) -> Vec<u64> {
         self.loads.clone()
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
     }
 
     fn step(&mut self, events: &[LoadEvent]) {

@@ -1,0 +1,170 @@
+//! Times the core simulation engines on the §7 paper workload across
+//! processor counts and writes `BENCH_core.json` at the repo root — the
+//! single-engine counterpart of `bench_experiments` (which times the
+//! Monte Carlo harness around them).
+//!
+//! For each `n` in the matrix the full virtual-class [`Cluster`] and the
+//! practical [`SimpleCluster`] replay the same recorded 500-step paper
+//! trace; wall-clock is the minimum over `reps` runs (rejecting
+//! scheduler noise) and every run's final state is fingerprinted with
+//! FNV-1a and invariant-checked.  n = 4096 is the PR-4 headline: the
+//! flat `d`/`b` arena plus active-class lists make the full model
+//! tractable at that size (the dense engine was O(n²) per balance
+//! operation), and the binary asserts it completes in under 60 s.
+//!
+//! Usage: `cargo run --release -p dlb-experiments --bin bench_core
+//!         [--smoke] [--out BENCH_core.json]`
+//!
+//! `--smoke` shrinks the matrix (and skips the 60 s assertion) so CI can
+//! run the binary in seconds as a compile-and-run gate.
+
+use dlb_core::{Cluster, LoadBalancer, Params, SimpleCluster};
+use dlb_experiments::args::Args;
+use dlb_experiments::quality::paper_trace;
+use dlb_json::{Json, ToJson};
+use dlb_workload::trace::EventTrace;
+use dlb_workload::Workload;
+use std::time::Instant;
+
+/// FNV-1a over the final loads and headline metrics of one run.
+fn fingerprint<B: LoadBalancer>(balancer: &B) -> String {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut push = |v: u64| {
+        for b in v.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for &l in &balancer.loads() {
+        push(l);
+    }
+    let m = balancer.metrics();
+    push(m.generated);
+    push(m.consumed);
+    push(m.balance_ops);
+    push(m.messages);
+    push(m.packets_migrated);
+    format!("{hash:016x}")
+}
+
+/// Replays `trace` on a fresh balancer `reps` times; returns the best
+/// wall-clock in ms and the (identical across reps) state fingerprint.
+fn time_engine<B, M>(make: M, trace: &EventTrace, reps: usize) -> (f64, String)
+where
+    B: LoadBalancer,
+    M: Fn() -> B,
+{
+    let steps = trace.steps();
+    let mut best = f64::INFINITY;
+    let mut fp = String::new();
+    for _ in 0..reps {
+        let mut balancer = make();
+        let mut replay = trace.replay();
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        for t in 0..steps {
+            replay.events_at(t, &mut events);
+            balancer.step(&events);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        let run_fp = fingerprint(&balancer);
+        assert!(
+            fp.is_empty() || fp == run_fp,
+            "nondeterministic engine: {fp} != {run_fp}"
+        );
+        fp = run_fp;
+    }
+    (best, fp)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let out: String = args.get("out", "BENCH_core.json".to_string());
+    let (sizes, steps, reps): (&[usize], usize, usize) = if smoke {
+        (&[16, 64], 120, 2)
+    } else {
+        (&[64, 512, 4096], 500, 3)
+    };
+
+    println!(
+        "bench_core: engine scaling on the paper workload \
+         ({} matrix, {steps} steps, min of {reps})\n",
+        if smoke { "smoke" } else { "paper" }
+    );
+
+    let mut cells = Vec::new();
+    for &n in sizes {
+        let trace = paper_trace(n, steps, 9);
+        let params = Params::paper_section7(n);
+
+        let (full_ms, full_fp) = time_engine(
+            || {
+                let c = Cluster::new(params, 1);
+                c.check_invariants().expect("fresh cluster invariants");
+                c
+            },
+            &trace,
+            reps,
+        );
+        // Re-run once more to invariant-check the *final* state (the
+        // timed closure only sees the fresh one).
+        {
+            let mut c = Cluster::new(params, 1);
+            let mut replay = trace.replay();
+            let mut events = Vec::new();
+            for t in 0..steps {
+                replay.events_at(t, &mut events);
+                c.step(&events);
+            }
+            c.check_invariants().expect("final cluster invariants");
+            assert_eq!(fingerprint(&c), full_fp, "verification run diverged");
+        }
+
+        let (simple_ms, simple_fp) = time_engine(|| SimpleCluster::new(params, 1), &trace, reps);
+        {
+            let mut c = SimpleCluster::new(params, 1);
+            let mut replay = trace.replay();
+            let mut events = Vec::new();
+            for t in 0..steps {
+                replay.events_at(t, &mut events);
+                c.step(&events);
+            }
+            c.check_invariants().expect("final simple invariants");
+            assert_eq!(fingerprint(&c), simple_fp, "verification run diverged");
+        }
+
+        println!(
+            "  n={n:<5} full {full_ms:>10.2} ms  ({full_fp})   simple {simple_ms:>9.2} ms  \
+             ({simple_fp})"
+        );
+        if !smoke && n == 4096 {
+            assert!(
+                full_ms < 60_000.0,
+                "full model at n=4096 must finish 500 steps in < 60 s, took {full_ms:.0} ms"
+            );
+        }
+
+        let ms3 = |x: f64| Json::Float((x * 1000.0).round() / 1000.0);
+        cells.push(Json::Obj(vec![
+            ("n".into(), (n as u64).to_json()),
+            ("full_ms".into(), ms3(full_ms)),
+            ("full_checksum".into(), full_fp.to_json()),
+            ("simple_ms".into(), ms3(simple_ms)),
+            ("simple_checksum".into(), simple_fp.to_json()),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), "core".to_json()),
+        (
+            "matrix".into(),
+            if smoke { "smoke" } else { "paper" }.to_json(),
+        ),
+        ("steps".into(), (steps as u64).to_json()),
+        ("reps".into(), (reps as u64).to_json()),
+        ("sizes".into(), Json::Arr(cells)),
+    ]);
+    std::fs::write(&out, doc.render_pretty()).expect("JSON written");
+    println!("\nwrote {out}");
+}

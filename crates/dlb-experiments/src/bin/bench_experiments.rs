@@ -12,10 +12,17 @@
 //! names, checksums) is stable.
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin bench_experiments
-//!         [--jobs N] [--smoke] [--out BENCH_experiments.json]`
+//!         [--jobs N] [--smoke] [--out BENCH_experiments.json]
+//!         [--check BENCH_experiments.json]`
 //!
 //! `--smoke` shrinks the matrix to seconds for CI; the default matrix is
-//! the §7 paper scale.
+//! the §7 paper scale.  `--check <baseline>` re-runs the scenario matrix
+//! and exits non-zero if any checksum differs from the committed
+//! baseline — the CI drift gate for the simulation results themselves
+//! (timings are machine-dependent; checksums are not).  The reported
+//! `effective_cores` is the machine's available parallelism: speedup
+//! numbers are only meaningful relative to it (a 1-core runner is
+//! expected to report ~1.0x).
 
 use dlb_core::{Cluster, ExchangePolicy, LoadBalancer, LoadEvent, Params};
 use dlb_experiments::args::Args;
@@ -164,16 +171,85 @@ fn time_cluster_run(n: usize, steps: usize, null_sink: bool, reps: usize) -> (f6
     (best, fingerprint)
 }
 
+/// `--check` mode: re-runs the scenario matrix (checksums are invariant
+/// in `jobs`, so the smoke matrix must match the baseline only if the
+/// baseline was also a smoke run — the matrices differ otherwise, which
+/// is why the baseline's recorded matrix kind is honoured, not the
+/// caller's `--smoke` flag) and compares every scenario checksum against
+/// the committed baseline.  Exits 1 on any drift.
+fn check_against(baseline_path: &str, jobs: usize) -> ! {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+    let smoke = doc.get("matrix").and_then(Json::as_str) == Some("smoke");
+    let baseline: Vec<(String, String)> = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .expect("baseline has a scenarios array")
+        .iter()
+        .map(|s| {
+            (
+                s.get("name")
+                    .and_then(Json::as_str)
+                    .expect("scenario name")
+                    .to_string(),
+                s.get("seq_checksum")
+                    .and_then(Json::as_str)
+                    .expect("scenario seq_checksum")
+                    .to_string(),
+            )
+        })
+        .collect();
+    println!(
+        "bench_experiments --check: verifying {} scenario checksums \
+         against {baseline_path} ({} matrix, {jobs} jobs)\n",
+        baseline.len(),
+        if smoke { "smoke" } else { "paper-scale" }
+    );
+    let mut drifted = 0usize;
+    for scenario in scenarios(smoke) {
+        let Some((_, expected)) = baseline.iter().find(|(name, _)| name == scenario.name) else {
+            println!("  {:<20} MISSING from baseline", scenario.name);
+            drifted += 1;
+            continue;
+        };
+        let got = (scenario.run)(jobs);
+        if &got == expected {
+            println!("  {:<20} ok    {got}", scenario.name);
+        } else {
+            println!(
+                "  {:<20} DRIFT baseline {expected} != current {got}",
+                scenario.name
+            );
+            drifted += 1;
+        }
+    }
+    if drifted > 0 {
+        println!(
+            "\n{drifted} scenario(s) drifted from {baseline_path}: the simulation \
+             results changed.  If intentional, regenerate the baseline."
+        );
+        std::process::exit(1);
+    }
+    println!("\nAll checksums match {baseline_path}.");
+    std::process::exit(0);
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.flag("smoke");
     let jobs: usize = args.get("jobs", default_jobs());
     let out: String = args.get("out", "BENCH_experiments.json".to_string());
+    let check: String = args.get("check", String::new());
+    if !check.is_empty() {
+        check_against(&check, jobs);
+    }
 
     println!(
         "bench_experiments: sequential vs {jobs}-job parallel harness \
-         ({} matrix)\n",
-        if smoke { "smoke" } else { "paper-scale" }
+         ({} matrix, {} effective cores)\n",
+        if smoke { "smoke" } else { "paper-scale" },
+        default_jobs()
     );
 
     let mut rows = Vec::new();
@@ -243,6 +319,7 @@ fn main() {
             if smoke { "smoke" } else { "paper" }.to_json(),
         ),
         ("jobs".into(), (jobs as u64).to_json()),
+        ("effective_cores".into(), (default_jobs() as u64).to_json()),
         ("scenarios".into(), Json::Arr(cells)),
         (
             "trace_overhead".into(),

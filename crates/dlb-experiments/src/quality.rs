@@ -85,8 +85,9 @@ pub fn quality_curves_with<B: LoadBalancer>(
             min: vec![u64::MAX; steps],
             max: vec![0; steps],
         };
+        let mut loads = Vec::with_capacity(n);
         drive(&mut balancer, &mut replay, steps, |t, b| {
-            let loads = b.loads();
+            b.loads_into(&mut loads);
             run.mean[t] = loads.iter().map(|&l| l as f64).sum::<f64>() / n as f64;
             run.min[t] = *loads.iter().min().expect("n > 0");
             run.max[t] = *loads.iter().max().expect("n > 0");
@@ -181,9 +182,11 @@ pub fn distribution_at(
         let mut balancer =
             Cluster::new(params, stream_seed(base_seed, r as u64, StreamId::Balancer));
         let mut snaps = fresh();
+        let mut loads = Vec::with_capacity(n);
         drive(&mut balancer, &mut replay, steps, |t, b| {
             for snap in snaps.iter_mut().filter(|s| s.t == t) {
-                for (i, &l) in b.loads().iter().enumerate() {
+                b.loads_into(&mut loads);
+                for (i, &l) in loads.iter().enumerate() {
                     snap.mean[i] = l as f64;
                     snap.min[i] = l;
                     snap.max[i] = l;

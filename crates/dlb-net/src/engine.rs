@@ -16,10 +16,9 @@
 //! hop distance it travels.
 
 use crate::topology::Topology;
-use dlb_core::balance::even_shares;
+use dlb_core::balance::even_shares_into;
 use dlb_core::{LoadBalancer, LoadEvent, Metrics, Params};
 use rand::prelude::*;
-use rand::seq::index::sample;
 use rand_chacha::ChaCha8Rng;
 
 /// How balance partners are selected.
@@ -57,6 +56,11 @@ pub struct TopoCluster {
     comm: CommStats,
     /// All-pairs hop distances, precomputed once.
     dist: Vec<Vec<u32>>,
+    scratch_members: Vec<usize>,
+    scratch_shares: Vec<u64>,
+    scratch_surplus: Vec<(usize, u64)>,
+    scratch_deficit: Vec<(usize, u64)>,
+    scratch_sample: Vec<usize>,
 }
 
 impl TopoCluster {
@@ -80,6 +84,11 @@ impl TopoCluster {
             metrics: Metrics::new(),
             comm: CommStats::default(),
             dist,
+            scratch_members: Vec::new(),
+            scratch_shares: Vec::new(),
+            scratch_surplus: Vec::new(),
+            scratch_deficit: Vec::new(),
+            scratch_sample: Vec::new(),
         }
     }
 
@@ -98,28 +107,44 @@ impl TopoCluster {
         self.dist[a][b]
     }
 
-    fn partners(&mut self, initiator: usize) -> Vec<usize> {
+    /// The vendored `rand::seq::index::sample` Floyd loop, inlined into a
+    /// scratch buffer (identical RNG consumption, no allocation).
+    fn draw_sample(&mut self, length: usize, amount: usize, raw: &mut Vec<usize>) {
+        raw.clear();
+        for j in (length - amount)..length {
+            let t = self.rng.gen_range(0..=j);
+            if raw.contains(&t) {
+                raw.push(j);
+            } else {
+                raw.push(t);
+            }
+        }
+    }
+
+    /// Appends the initiator's balance partners to `out`.
+    fn partners_into(&mut self, initiator: usize, out: &mut Vec<usize>) {
         let delta = self.params.delta();
+        let mut raw = std::mem::take(&mut self.scratch_sample);
         match self.mode {
             PartnerMode::GlobalRandom => {
                 let n = self.params.n();
-                sample(&mut self.rng, n - 1, delta)
-                    .iter()
-                    .map(|x| if x >= initiator { x + 1 } else { x })
-                    .collect()
+                self.draw_sample(n - 1, delta, &mut raw);
+                out.extend(raw.iter().map(|&x| if x >= initiator { x + 1 } else { x }));
             }
             PartnerMode::Neighbors => {
+                // `neighbors` allocates its adjacency list — acceptable,
+                // as it is the topology's public API and only the sampled
+                // subset path is hot.
                 let nbrs = self.topology.neighbors(initiator);
                 if nbrs.len() <= delta {
-                    nbrs
+                    out.extend_from_slice(&nbrs);
                 } else {
-                    sample(&mut self.rng, nbrs.len(), delta)
-                        .iter()
-                        .map(|i| nbrs[i])
-                        .collect()
+                    self.draw_sample(nbrs.len(), delta, &mut raw);
+                    out.extend(raw.iter().map(|&i| nbrs[i]));
                 }
             }
         }
+        self.scratch_sample = raw;
     }
 
     fn trigger_check(&mut self, i: usize) {
@@ -132,18 +157,23 @@ impl TopoCluster {
     fn full_balance(&mut self, initiator: usize) {
         self.metrics.balance_ops += 1;
         self.comm.ops += 1;
-        let mut members = vec![initiator];
-        members.extend(self.partners(initiator));
+        let mut members = std::mem::take(&mut self.scratch_members);
+        members.clear();
+        members.push(initiator);
+        self.partners_into(initiator, &mut members);
         self.metrics.messages += members.len() as u64;
         for &m in &members[1..] {
             self.comm.control_hops += 2 * self.dist[initiator][m] as u64;
         }
         let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
-        let shares = even_shares(total, members.len());
+        let mut shares = std::mem::take(&mut self.scratch_shares);
+        even_shares_into(total, members.len(), &mut shares);
 
         // Surplus -> deficit greedy matching for hop accounting.
-        let mut surplus: Vec<(usize, u64)> = Vec::new();
-        let mut deficit: Vec<(usize, u64)> = Vec::new();
+        let mut surplus = std::mem::take(&mut self.scratch_surplus);
+        let mut deficit = std::mem::take(&mut self.scratch_deficit);
+        surplus.clear();
+        deficit.clear();
         for (&m, &share) in members.iter().zip(shares.iter()) {
             if self.loads[m] > share {
                 surplus.push((m, self.loads[m] - share));
@@ -152,7 +182,8 @@ impl TopoCluster {
             }
         }
         let mut di = 0usize;
-        for (from, mut excess) in surplus {
+        for &(from, excess) in &surplus {
+            let mut excess = excess;
             while excess > 0 && di < deficit.len() {
                 let (to, need) = deficit[di];
                 let x = excess.min(need);
@@ -171,6 +202,10 @@ impl TopoCluster {
             self.loads[m] = share;
             self.l_old[m] = share;
         }
+        self.scratch_surplus = surplus;
+        self.scratch_deficit = deficit;
+        self.scratch_shares = shares;
+        self.scratch_members = members;
     }
 }
 
@@ -181,6 +216,11 @@ impl LoadBalancer for TopoCluster {
 
     fn loads(&self) -> Vec<u64> {
         self.loads.clone()
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
     }
 
     fn step(&mut self, events: &[LoadEvent]) {

@@ -7,9 +7,22 @@
 //! warm-up pass, then `sample_size` timed samples whose median is
 //! reported — with plain-text output and no statistical analysis or
 //! HTML reports.
+//!
+//! Setting the `DLB_BENCH_QUICK` environment variable (any value) caps
+//! every case at 3 samples of ~1ms — numbers become noisy, but a full
+//! bench binary finishes in seconds.  CI uses this as a smoke mode to
+//! prove the benches still compile and run; real measurements must be
+//! taken without it.
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// True when `DLB_BENCH_QUICK` is set: compile-and-run smoke mode.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var_os("DLB_BENCH_QUICK").is_some())
+}
 
 /// Work-unit annotation for throughput reporting.
 #[derive(Debug, Clone, Copy)]
@@ -52,11 +65,13 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, storing the median per-iteration duration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up and iteration-count calibration: aim for ~10ms per sample.
+        // Warm-up and iteration-count calibration: aim for ~10ms per
+        // sample (~1ms in quick mode).
+        let target = Duration::from_millis(if quick_mode() { 1 } else { 10 });
         let start = Instant::now();
         std::hint::black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000);
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -151,6 +166,11 @@ fn run_case<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    let sample_size = if quick_mode() {
+        sample_size.min(3)
+    } else {
+        sample_size
+    };
     let mut bencher = Bencher {
         elapsed: Duration::ZERO,
         sample_size,
