@@ -1,0 +1,96 @@
+//! Calendar queue vs binary heap on the asynchronous simulator's event
+//! traffic shape: most events land a constant `latency` ahead of the
+//! clock, a few timeout echoes further out, drained in delivery order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_net::CalendarQueue;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One synthetic workload step: at every tick, push a latency-shaped
+/// batch and drain everything due.  Returns a checksum so the drain
+/// cannot be optimised away.
+fn traffic(rng: &mut ChaCha8Rng, ticks: u64) -> Vec<(u64, u64, u32)> {
+    let mut pushes = Vec::new();
+    let mut stamp = 0u64;
+    for t in 0..ticks {
+        for _ in 0..rng.gen_range(0..6) {
+            // Mostly `now + latency`, occasionally a timeout echo.
+            let delay = if rng.gen_bool(0.9) {
+                4
+            } else {
+                rng.gen_range(16..256)
+            };
+            stamp += 1;
+            pushes.push((t, t + delay, stamp as u32));
+        }
+    }
+    pushes
+}
+
+fn run_calendar(pushes: &[(u64, u64, u32)], ticks: u64) -> u64 {
+    let mut q: CalendarQueue<u32> = CalendarQueue::new();
+    let mut acc = 0u64;
+    let mut i = 0;
+    for t in 0..ticks {
+        while i < pushes.len() && pushes[i].0 == t {
+            q.push(pushes[i].1, pushes[i].2);
+            i += 1;
+        }
+        while let Some((time, id)) = q.pop_due(t) {
+            acc = acc.wrapping_mul(31).wrapping_add(time ^ id as u64);
+        }
+    }
+    while let Some((time, id)) = q.pop_due(u64::MAX) {
+        acc = acc.wrapping_mul(31).wrapping_add(time ^ id as u64);
+    }
+    acc
+}
+
+fn run_heap(pushes: &[(u64, u64, u32)], ticks: u64) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut acc = 0u64;
+    let mut i = 0;
+    let mut drain = |q: &mut BinaryHeap<Reverse<(u64, u32)>>, t: u64| {
+        while let Some(&Reverse((time, _))) = q.peek() {
+            if time > t {
+                break;
+            }
+            let Reverse((time, id)) = q.pop().expect("peeked");
+            acc = acc.wrapping_mul(31).wrapping_add(time ^ id as u64);
+        }
+    };
+    for t in 0..ticks {
+        while i < pushes.len() && pushes[i].0 == t {
+            q.push(Reverse((pushes[i].1, pushes[i].2)));
+            i += 1;
+        }
+        drain(&mut q, t);
+    }
+    drain(&mut q, u64::MAX);
+    acc
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let quick = std::env::var_os("DLB_BENCH_QUICK").is_some();
+    let ticks: u64 = if quick { 5_000 } else { 100_000 };
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let pushes = traffic(&mut rng, ticks);
+    // Both drains must observe the identical delivery order.
+    assert_eq!(run_calendar(&pushes, ticks), run_heap(&pushes, ticks));
+
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("calendar", ticks), &ticks, |b, &ticks| {
+        b.iter(|| run_calendar(&pushes, ticks))
+    });
+    group.bench_with_input(BenchmarkId::new("heap", ticks), &ticks, |b, &ticks| {
+        b.iter(|| run_heap(&pushes, ticks))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 //! options:
 //!   --trace <path>   write a JSONL event trace (dlb-trace schema)
 //!   --jobs N         worker threads; output is identical for every N
+//!   --step-jobs N    worker threads inside each step (wave-executed
+//!                    balance operations); output is identical for every N
 //!   --profile        add per-step StepProfile events to the trace
 //! ```
 
@@ -18,7 +20,7 @@ use config::Scenario;
 use run::RunOptions;
 
 const USAGE: &str = "usage: dlb <demo | run <scenario.json> | template> \
-                     [--trace <path>] [--jobs N] [--profile]";
+                     [--trace <path>] [--jobs N] [--step-jobs N] [--profile]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,7 +39,8 @@ fn main() {
                 Err(e) => Err(format!("cannot read {path}: {e}")),
             },
             None => Err(
-                "usage: dlb run <scenario.json> [--trace <path>] [--jobs N] [--profile]"
+                "usage: dlb run <scenario.json> [--trace <path>] [--jobs N] \
+                 [--step-jobs N] [--profile]"
                     .to_string(),
             ),
         },
@@ -66,6 +69,12 @@ fn parse_options(rest: &[String]) -> Result<RunOptions, String> {
                 opts.jobs = raw
                     .parse()
                     .map_err(|e| format!("invalid --jobs {raw:?}: {e}"))?;
+            }
+            "--step-jobs" => {
+                let raw = iter.next().ok_or("--step-jobs needs a thread count")?;
+                opts.step_jobs = raw
+                    .parse()
+                    .map_err(|e| format!("invalid --step-jobs {raw:?}: {e}"))?;
             }
             "--profile" => opts.profile = true,
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),

@@ -29,6 +29,11 @@ pub struct RunOptions {
     /// Worker threads for the run loop (`0`/`1` = sequential; output is
     /// identical for every value).
     pub jobs: usize,
+    /// Worker threads *inside* each step (wave-executed balance
+    /// operations; `0`/`1` = sequential).  Shares the run-level pool, so
+    /// `--jobs` and `--step-jobs` compose without oversubscription, and
+    /// output is identical for every value.
+    pub step_jobs: usize,
     /// Emit per-step `StepProfile` events (wall times are
     /// machine-dependent, so profiled traces are not byte-reproducible).
     pub profile: bool,
@@ -263,9 +268,11 @@ fn run_one_sync(
     r: usize,
     tracing: bool,
     profile: bool,
+    step_jobs: usize,
 ) -> Result<RunOutcome, String> {
     let seed = stream_seed(scenario.seed, r as u64, StreamId::Balancer);
     let mut balancer = build_strategy(scenario, seed)?;
+    balancer.set_step_jobs(step_jobs.max(1));
     let mut workload = build_workload(
         scenario,
         stream_seed(scenario.seed, r as u64, StreamId::Workload),
@@ -429,7 +436,7 @@ pub fn execute_with(scenario: &Scenario, opts: &RunOptions) -> Result<Report, St
             Some((delta, f, latency)) => {
                 run_one_async(scenario, r, tracing, opts.profile, delta, f, latency)
             }
-            None => run_one_sync(scenario, r, tracing, opts.profile),
+            None => run_one_sync(scenario, r, tracing, opts.profile, opts.step_jobs),
         });
 
     let mut sink = match &trace_path {
@@ -666,7 +673,7 @@ mod tests {
             let opts = RunOptions {
                 trace: Some(path.to_string_lossy().into_owned()),
                 jobs,
-                profile: false,
+                ..RunOptions::default()
             };
             let report = execute_with(&scenario, &opts).unwrap();
             (std::fs::read(&path).unwrap(), report)
@@ -690,6 +697,48 @@ mod tests {
     }
 
     #[test]
+    fn trace_is_byte_identical_across_step_jobs() {
+        // Intra-step wave execution must not change a single byte of the
+        // trace or report, alone or combined with run-level --jobs.
+        let dir = std::env::temp_dir().join("dlb_cli_step_jobs_trace_test");
+        let mut scenario = small_scenario(
+            StrategyConfig::Full {
+                delta: 2,
+                f: 1.1,
+                c: 4,
+            },
+            WorkloadConfig::Uniform {
+                p_gen: 0.5,
+                p_con: 0.3,
+            },
+        );
+        scenario.n = 16;
+        scenario.steps = 200;
+        scenario.runs = 2;
+        let run_with = |jobs: usize, step_jobs: usize, name: &str| {
+            let path = dir.join(name);
+            let opts = RunOptions {
+                trace: Some(path.to_string_lossy().into_owned()),
+                jobs,
+                step_jobs,
+                profile: false,
+            };
+            let report = execute_with(&scenario, &opts).unwrap();
+            (std::fs::read(&path).unwrap(), report)
+        };
+        let (seq, report_seq) = run_with(1, 1, "s1.jsonl");
+        assert!(!seq.is_empty());
+        for (jobs, step_jobs) in [(1, 4), (2, 2), (1, 8)] {
+            let name = format!("j{jobs}s{step_jobs}.jsonl");
+            let (par, report_par) = run_with(jobs, step_jobs, &name);
+            assert_eq!(seq, par, "jobs={jobs} step-jobs={step_jobs}");
+            assert_eq!(report_seq.mean_ratio, report_par.mean_ratio);
+            assert_eq!(report_seq.ops_per_run, report_par.ops_per_run);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn untraced_report_matches_traced_report() {
         let dir = std::env::temp_dir().join("dlb_cli_trace_inert_test");
         let scenario = small_scenario(
@@ -703,6 +752,7 @@ mod tests {
         let opts = RunOptions {
             trace: Some(dir.join("t.jsonl").to_string_lossy().into_owned()),
             jobs: 2,
+            step_jobs: 2,
             profile: true,
         };
         let traced = execute_with(&scenario, &opts).unwrap();

@@ -20,9 +20,73 @@ use crate::balance::even_shares_into;
 use crate::metrics::Metrics;
 use crate::params::Params;
 use crate::strategy::{LoadBalancer, LoadEvent};
+use dlb_pool::par_map;
 use dlb_trace::{SharedSink, TraceEvent};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+
+thread_local! {
+    /// Per-thread share scratch for wave execution.
+    static WAVE_SHARES: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// What executing one raw-load balance produced; folded into metrics and
+/// trace in trigger order.
+#[derive(Clone, Copy, Default)]
+struct OpOutcome {
+    /// The f-factor ratio that fired the trigger (0.0 unless tracing).
+    trigger: f64,
+    /// Packets that physically moved between members.
+    op_packets: u64,
+}
+
+/// Raw view of the two per-processor vectors a balance operation writes.
+/// Operations in one wave have disjoint member sets (enforced by the
+/// planner in [`SimpleCluster::flush_pending`]), so concurrent
+/// executors touch disjoint entries.
+struct LoadsView {
+    loads: *mut u64,
+    l_old: *mut u64,
+}
+
+unsafe impl Send for LoadsView {}
+unsafe impl Sync for LoadsView {}
+
+/// Executes one raw-load equalisation over `members` (initiator first):
+/// the body of [`SimpleCluster::full_balance`], shared by the sequential
+/// path and the wave executor.  Consumes no RNG.
+///
+/// # Safety
+///
+/// No other thread may concurrently touch the loads of `members`.
+unsafe fn execute_balance(
+    view: &LoadsView,
+    members: &[usize],
+    tracing: bool,
+    shares: &mut Vec<u64>,
+) -> OpOutcome {
+    let initiator = members[0];
+    // Untouched between draw and execution (queued operations touching
+    // the initiator were flushed before its event), so this equals the
+    // draw-time ratio.
+    let trigger = if tracing {
+        *view.loads.add(initiator) as f64 / (*view.l_old.add(initiator)).max(1) as f64
+    } else {
+        0.0
+    };
+    let total: u64 = members.iter().map(|&mm| *view.loads.add(mm)).sum();
+    even_shares_into(total, members.len(), shares);
+    let mut op_packets = 0u64;
+    for (&mm, &share) in members.iter().zip(shares.iter()) {
+        op_packets += (*view.loads.add(mm)).saturating_sub(share);
+        *view.loads.add(mm) = share;
+        *view.l_old.add(mm) = share;
+    }
+    OpOutcome {
+        trigger,
+        op_packets,
+    }
+}
 
 /// The practical raw-load balancer.
 pub struct SimpleCluster {
@@ -43,6 +107,22 @@ pub struct SimpleCluster {
     scratch_sample: Vec<usize>,
     sink: Option<SharedSink>,
     step_no: u64,
+    /// Intra-step parallelism (1 = execute at the trigger, as before).
+    step_jobs: usize,
+    /// Flat member lists of queued operations, in trigger order
+    /// (variable length under a crash mask — see `pending_lens`).
+    pending_members: Vec<usize>,
+    /// Member count of each queued operation.
+    pending_lens: Vec<u32>,
+    /// Per-processor flag: member of some queued operation.
+    pending_member: Vec<bool>,
+    /// Wave-planning scratch: 1 + index of the last wave touching a
+    /// processor (zeroed outside `flush_pending`).
+    wave_mark: Vec<u32>,
+    scratch_wave_of: Vec<u32>,
+    scratch_wave_ops: Vec<usize>,
+    scratch_offsets: Vec<usize>,
+    scratch_outcomes: Vec<OpOutcome>,
 }
 
 impl SimpleCluster {
@@ -69,6 +149,15 @@ impl SimpleCluster {
             scratch_sample: Vec::new(),
             sink: None,
             step_no: 0,
+            step_jobs: 1,
+            pending_members: Vec::new(),
+            pending_lens: Vec::new(),
+            pending_member: vec![false; n],
+            wave_mark: vec![0; n],
+            scratch_wave_of: Vec::new(),
+            scratch_wave_ops: Vec::new(),
+            scratch_offsets: Vec::new(),
+            scratch_outcomes: Vec::new(),
         }
     }
 
@@ -164,35 +253,145 @@ impl SimpleCluster {
             members.extend(raw.iter().map(|&x| if x >= initiator { x + 1 } else { x }));
         }
         self.scratch_sample = raw;
+        if self.step_jobs > 1 {
+            // Defer: everything below the draw touches only the members'
+            // loads, so member-disjoint operations commute bit-exactly
+            // (see `flush_pending`).
+            self.pending_lens.push(members.len() as u32);
+            for &mm in &members {
+                self.pending_members.push(mm);
+                self.pending_member[mm] = true;
+            }
+            members.clear();
+            self.scratch_members = members;
+            return;
+        }
+        let tracing = self.trace_on();
+        let mut shares = std::mem::take(&mut self.scratch_shares);
+        let out = {
+            let view = LoadsView {
+                loads: self.loads.as_mut_ptr(),
+                l_old: self.l_old.as_mut_ptr(),
+            };
+            unsafe { execute_balance(&view, &members, tracing, &mut shares) }
+        };
+        self.scratch_shares = shares;
+        self.fold_outcome(&members, out, tracing);
+        members.clear();
+        self.scratch_members = members;
+    }
+
+    /// Folds one executed operation into metrics and trace, in trigger
+    /// order — reconstructing the exact sequential counter sums and
+    /// event stream (BalanceInitiated, then PacketsMigrated if any).
+    fn fold_outcome(&mut self, members: &[usize], out: OpOutcome, tracing: bool) {
         self.metrics.balance_ops += 1;
         self.metrics.messages += members.len() as u64;
-        if self.trace_on() {
+        if tracing {
             self.emit(TraceEvent::BalanceInitiated {
                 step: self.step_no,
-                initiator: initiator as u64,
+                initiator: members[0] as u64,
                 partners: members[1..].iter().map(|&p| p as u64).collect(),
-                trigger: self.loads[initiator] as f64 / self.l_old[initiator].max(1) as f64,
+                trigger: out.trigger,
             });
         }
-        let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
-        let mut shares = std::mem::take(&mut self.scratch_shares);
-        even_shares_into(total, members.len(), &mut shares);
-        let mut op_packets = 0u64;
-        for (&m, &share) in members.iter().zip(shares.iter()) {
-            op_packets += self.loads[m].saturating_sub(share);
-            self.loads[m] = share;
-            self.l_old[m] = share;
-        }
-        self.scratch_shares = shares;
-        self.scratch_members = members;
-        self.metrics.packets_migrated += op_packets;
-        if op_packets > 0 && self.trace_on() {
+        self.metrics.packets_migrated += out.op_packets;
+        if out.op_packets > 0 && tracing {
             self.emit(TraceEvent::PacketsMigrated {
                 step: self.step_no,
-                initiator: initiator as u64,
-                count: op_packets,
+                initiator: members[0] as u64,
+                count: out.op_packets,
             });
         }
+    }
+
+    /// Executes every queued operation in conflict-free waves (greedy by
+    /// trigger index over the member sets, exactly as in
+    /// [`crate::cluster::Cluster`]) and folds outcomes in trigger order.
+    /// The wave schedule depends only on the member sets, never on
+    /// `step_jobs`, so every worker count produces identical state.
+    fn flush_pending(&mut self) {
+        if self.pending_lens.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_members);
+        let lens = std::mem::take(&mut self.pending_lens);
+        let count = lens.len();
+        for &p in &pending {
+            self.pending_member[p] = false;
+        }
+        let tracing = self.trace_on();
+        let step_jobs = self.step_jobs;
+        let mut offsets = std::mem::take(&mut self.scratch_offsets);
+        offsets.clear();
+        let mut acc = 0usize;
+        for &len in &lens {
+            offsets.push(acc);
+            acc += len as usize;
+        }
+        let mut wave_of = std::mem::take(&mut self.scratch_wave_of);
+        wave_of.clear();
+        let mut waves = 0u32;
+        for k in 0..count {
+            let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+            let w = members
+                .iter()
+                .map(|&mm| self.wave_mark[mm])
+                .max()
+                .unwrap_or(0);
+            for &mm in members {
+                self.wave_mark[mm] = w + 1;
+            }
+            wave_of.push(w);
+            waves = waves.max(w + 1);
+        }
+        for &p in &pending {
+            self.wave_mark[p] = 0;
+        }
+
+        let mut outcomes = std::mem::take(&mut self.scratch_outcomes);
+        outcomes.clear();
+        outcomes.resize(count, OpOutcome::default());
+        let mut wave_ops = std::mem::take(&mut self.scratch_wave_ops);
+        {
+            let view = LoadsView {
+                loads: self.loads.as_mut_ptr(),
+                l_old: self.l_old.as_mut_ptr(),
+            };
+            for w in 0..waves {
+                wave_ops.clear();
+                wave_ops.extend((0..count).filter(|&k| wave_of[k] == w));
+                let view = &view;
+                let pending = &pending;
+                let wave_ops = &wave_ops;
+                let offsets = &offsets;
+                let lens = &lens;
+                let results = par_map(step_jobs.min(wave_ops.len()), wave_ops.len(), |i| {
+                    let k = wave_ops[i];
+                    let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+                    WAVE_SHARES.with(|s| unsafe {
+                        execute_balance(view, members, tracing, &mut s.borrow_mut())
+                    })
+                });
+                for (i, out) in results.into_iter().enumerate() {
+                    outcomes[wave_ops[i]] = out;
+                }
+            }
+        }
+        for (k, out) in outcomes.iter().enumerate() {
+            let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+            self.fold_outcome(members, *out, tracing);
+        }
+        outcomes.clear();
+        self.scratch_outcomes = outcomes;
+        self.scratch_wave_of = wave_of;
+        self.scratch_wave_ops = wave_ops;
+        self.scratch_offsets = offsets;
+        let (mut pending, mut lens) = (pending, lens);
+        pending.clear();
+        lens.clear();
+        self.pending_members = pending;
+        self.pending_lens = lens;
     }
 
     fn step_impl(&mut self, events: &[LoadEvent], down: &[bool]) {
@@ -221,6 +420,13 @@ impl SimpleCluster {
             if !down.is_empty() && down[i] {
                 continue; // crashed: no event, no trigger, load frozen
             }
+            // A queued balance involving i must land before i acts: the
+            // event and the trigger check read loads[i] / l_old[i],
+            // which the queued operation rewrites.  (Flag only ever set
+            // when step_jobs > 1; Idle reads nothing.)
+            if self.pending_member[i] && !matches!(ev, LoadEvent::Idle) {
+                self.flush_pending();
+            }
             match ev {
                 LoadEvent::Generate => {
                     self.loads[i] += 1;
@@ -239,6 +445,9 @@ impl SimpleCluster {
                 LoadEvent::Idle => {}
             }
         }
+        // Operations never outlive their step: the StepDelta below (and
+        // any observer between steps) must see fully-settled state.
+        self.flush_pending();
         if tracing {
             let delta = self.metrics.delta_from(&before);
             let counters: Vec<(String, u64)> = delta
@@ -293,6 +502,10 @@ impl LoadBalancer for SimpleCluster {
 
     fn set_trace_sink(&mut self, sink: SharedSink) {
         self.sink = Some(sink);
+    }
+
+    fn set_step_jobs(&mut self, jobs: usize) {
+        self.step_jobs = jobs.max(1);
     }
 }
 
@@ -443,6 +656,38 @@ mod tests {
                 _ => cluster.step(&events),
             }
             cluster.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn step_jobs_matches_sequential_including_masked() {
+        let params = Params::paper_section7(16);
+        let run = |jobs: usize| {
+            let mut c = SimpleCluster::with_initial_load(params, 21, 40);
+            c.set_step_jobs(jobs);
+            let mut rng = ChaCha8Rng::seed_from_u64(77);
+            let mut down = vec![false; 16];
+            for round in 0..300 {
+                if round % 50 == 0 {
+                    down[round / 50 % 16] ^= true;
+                }
+                let events: Vec<LoadEvent> = (0..16)
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            LoadEvent::Generate
+                        } else {
+                            LoadEvent::Consume
+                        }
+                    })
+                    .collect();
+                c.step_masked(&events, &down);
+            }
+            c.check_invariants().unwrap();
+            (c.loads(), *c.metrics())
+        };
+        let seq = run(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(run(jobs), seq, "jobs={jobs}");
         }
     }
 

@@ -91,6 +91,13 @@ pub trait LoadBalancer {
     /// The default is a no-op so baselines without instrumentation
     /// still satisfy the trait; the SPAA'93 engines override it.
     fn set_trace_sink(&mut self, _sink: dlb_trace::SharedSink) {}
+
+    /// Requests intra-step parallelism: balance operations drawn within
+    /// one step are executed in conflict-free waves on up to `jobs`
+    /// pooled workers.  Results, metrics and traces are bit-identical
+    /// for every value (including 1 = fully sequential); the default is
+    /// a no-op so strategies without a wave executor stay sequential.
+    fn set_step_jobs(&mut self, _jobs: usize) {}
 }
 
 /// Summary statistics of a load distribution snapshot.

@@ -1,0 +1,166 @@
+//! PR-5 intra-step parallelism contract: stepping with `step_jobs > 1`
+//! (draw phase sequential, balance operations executed in conflict-free
+//! waves on the worker pool) must be *bit-identical* to the sequential
+//! engines — and those are already bit-identical to the dense reference
+//! implementations (see `opt_equivalence.rs`).  These proptests replay
+//! random small instances three ways — parallel optimized, sequential
+//! optimized, and `dlb_core::reference` — and compare loads, metrics,
+//! the full `d`/`b` marker matrices, and the merged trace byte stream
+//! for every `step_jobs` in {1, 2, 4, 8}.
+
+use dlb_core::reference::{RefCluster, RefSimpleCluster};
+use dlb_core::{Cluster, LoadBalancer, LoadEvent, Params, SimpleCluster};
+use dlb_trace::BufferSink;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+const STEP_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Same mixed workload shape as `opt_equivalence.rs`: build-up first,
+/// drain-down after the halfway point.
+fn events_at(rng: &mut ChaCha8Rng, n: usize, t: usize, steps: usize) -> Vec<LoadEvent> {
+    let draining = t * 2 > steps;
+    (0..n)
+        .map(|_| {
+            let x: f64 = rng.gen();
+            let (p_gen, p_con) = if draining { (0.2, 0.6) } else { (0.55, 0.3) };
+            if x < p_gen {
+                LoadEvent::Generate
+            } else if x < p_gen + p_con {
+                LoadEvent::Consume
+            } else {
+                LoadEvent::Idle
+            }
+        })
+        .collect()
+}
+
+/// The trace stream as raw JSONL bytes — the strongest equality we can
+/// ask for (field order, numeric formatting, event order).
+fn trace_bytes(buffer: &BufferSink) -> Vec<u8> {
+    let mut out = Vec::new();
+    for ev in buffer.take() {
+        out.extend_from_slice(ev.to_line().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+proptest! {
+    /// Full virtual-class model: parallel == sequential == reference on
+    /// loads, metrics, the complete `d`/`b` matrices, and trace bytes.
+    #[test]
+    fn full_cluster_is_bit_identical_across_step_jobs(
+        n_idx in 0usize..4,
+        delta_idx in 0usize..2,
+        initial in 0u64..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = [2usize, 3, 5, 9][n_idx];
+        let delta = [1usize, 2][delta_idx].min(n - 1);
+        let params = Params::new(n, delta, 1.2, 4).unwrap();
+        let initial = initial * 5;
+        let steps = 50;
+
+        // Sequential baseline plus the dense reference, traced.
+        let mut seq = Cluster::with_initial_load(params, seed, initial);
+        let seq_buf = BufferSink::new();
+        seq.set_trace_sink(seq_buf.handle());
+        let mut reference = RefCluster::with_initial_load(params, seed, initial);
+        let mut ev_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+        let mut trace = Vec::new();
+        for t in 0..steps {
+            let events = events_at(&mut ev_rng, n, t, steps);
+            seq.step(&events);
+            reference.step(&events);
+            trace.push(events);
+        }
+        prop_assert_eq!(seq.loads(), reference.loads());
+        prop_assert_eq!(seq.metrics(), reference.metrics());
+        let seq_trace = trace_bytes(&seq_buf);
+
+        for jobs in STEP_JOBS {
+            let mut par = Cluster::with_initial_load(params, seed, initial);
+            par.set_step_jobs(jobs);
+            let par_buf = BufferSink::new();
+            par.set_trace_sink(par_buf.handle());
+            for events in &trace {
+                par.step(events);
+            }
+            prop_assert_eq!(
+                par.loads(), seq.loads(), "loads diverged at step_jobs={}", jobs);
+            prop_assert_eq!(
+                par.metrics(), seq.metrics(), "metrics diverged at step_jobs={}", jobs);
+            for i in 0..n {
+                for c in 0..n {
+                    prop_assert_eq!(
+                        par.d(i, c), seq.d(i, c),
+                        "d[{}][{}] diverged at step_jobs={}", i, c, jobs);
+                    prop_assert_eq!(
+                        par.b(i, c), seq.b(i, c),
+                        "b[{}][{}] diverged at step_jobs={}", i, c, jobs);
+                }
+            }
+            prop_assert_eq!(
+                trace_bytes(&par_buf), seq_trace.clone(),
+                "trace bytes diverged at step_jobs={}", jobs);
+            prop_assert!(par.check_invariants().is_ok());
+        }
+    }
+
+    /// Practical variant under a changing down-mask: parallel ==
+    /// sequential == reference on loads, metrics, and trace bytes.
+    #[test]
+    fn simple_cluster_is_bit_identical_across_step_jobs(
+        n_idx in 0usize..3,
+        delta_idx in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = [3usize, 6, 10][n_idx];
+        let delta = [1usize, 3][delta_idx].min(n - 1);
+        let params = Params::new(n, delta, 1.3, 4).unwrap();
+        let steps = 60;
+
+        let mut seq = SimpleCluster::new(params, seed);
+        let seq_buf = BufferSink::new();
+        seq.set_trace_sink(seq_buf.handle());
+        let mut reference = RefSimpleCluster::new(params, seed);
+        let mut ev_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+        let mut mask_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead);
+        let mut trace = Vec::new();
+        let mut down = vec![false; n];
+        for t in 0..steps {
+            if t % 7 == 0 {
+                for f in down.iter_mut() {
+                    *f = mask_rng.gen_bool(0.25);
+                }
+            }
+            let events = events_at(&mut ev_rng, n, t, steps);
+            seq.step_masked(&events, &down);
+            reference.step_masked(&events, &down);
+            trace.push((events, down.clone()));
+        }
+        prop_assert_eq!(seq.loads(), reference.loads());
+        prop_assert_eq!(seq.metrics(), reference.metrics());
+        let seq_trace = trace_bytes(&seq_buf);
+
+        for jobs in STEP_JOBS {
+            let mut par = SimpleCluster::new(params, seed);
+            par.set_step_jobs(jobs);
+            let par_buf = BufferSink::new();
+            par.set_trace_sink(par_buf.handle());
+            for (events, down) in &trace {
+                par.step_masked(events, down);
+            }
+            prop_assert_eq!(
+                par.loads(), seq.loads(), "loads diverged at step_jobs={}", jobs);
+            prop_assert_eq!(
+                par.metrics(), seq.metrics(), "metrics diverged at step_jobs={}", jobs);
+            prop_assert_eq!(
+                trace_bytes(&par_buf), seq_trace.clone(),
+                "trace bytes diverged at step_jobs={}", jobs);
+            prop_assert!(par.check_invariants().is_ok());
+        }
+    }
+}

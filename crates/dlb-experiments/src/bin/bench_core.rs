@@ -3,23 +3,32 @@
 //! single-engine counterpart of `bench_experiments` (which times the
 //! Monte Carlo harness around them).
 //!
-//! For each `n` in the matrix the full virtual-class [`Cluster`] and the
-//! practical [`SimpleCluster`] replay the same recorded 500-step paper
-//! trace; wall-clock is the minimum over `reps` runs (rejecting
-//! scheduler noise) and every run's final state is fingerprinted with
-//! FNV-1a and invariant-checked.  n = 4096 is the PR-4 headline: the
-//! flat `d`/`b` arena plus active-class lists make the full model
-//! tractable at that size (the dense engine was O(n²) per balance
-//! operation), and the binary asserts it completes in under 60 s.
+//! For each `(n, step_jobs)` in the matrix the full virtual-class
+//! [`Cluster`] and the practical [`SimpleCluster`] replay the same
+//! recorded 500-step paper trace; wall-clock is the minimum over `reps`
+//! runs (rejecting scheduler noise) and every run's final state is
+//! fingerprinted with FNV-1a and invariant-checked.  The `step_jobs`
+//! axis exercises the intra-step wave executor: its checksums MUST equal
+//! the sequential ones bit for bit (asserted here), so any speedup at
+//! `step_jobs > 1` is free of result drift.  On a 1-core box (like CI)
+//! the identity is the whole point; the speedup shows on real cores —
+//! `effective_cores` records what this machine had.  n = 4096 is the
+//! PR-4 headline: the flat `d`/`b` arena plus active-class lists make
+//! the full model tractable at that size, and the binary asserts it
+//! completes in under 60 s.
 //!
 //! Usage: `cargo run --release -p dlb-experiments --bin bench_core
-//!         [--smoke] [--out BENCH_core.json]`
+//!         [--smoke] [--out BENCH_core.json] [--check BENCH_core.json]`
 //!
 //! `--smoke` shrinks the matrix (and skips the 60 s assertion) so CI can
-//! run the binary in seconds as a compile-and-run gate.
+//! run the binary in seconds as a compile-and-run gate.  `--check
+//! <baseline>` re-runs the baseline's matrix and exits non-zero if any
+//! checksum differs from the committed file (timings are
+//! machine-dependent; checksums are not).
 
 use dlb_core::{Cluster, LoadBalancer, Params, SimpleCluster};
 use dlb_experiments::args::Args;
+use dlb_experiments::parallel::default_jobs;
 use dlb_experiments::quality::paper_trace;
 use dlb_json::{Json, ToJson};
 use dlb_workload::trace::EventTrace;
@@ -77,82 +86,198 @@ where
     (best, fp)
 }
 
+/// One timed cell of the matrix: both engines at `(n, step_jobs)`.
+struct Cell {
+    n: usize,
+    step_jobs: usize,
+    full_ms: f64,
+    full_fp: String,
+    simple_ms: f64,
+    simple_fp: String,
+}
+
+/// Times both engines at `(n, step_jobs)` and — for the sequential
+/// column — invariant-checks the final state with a verification run.
+fn run_cell(n: usize, step_jobs: usize, steps: usize, reps: usize, verify: bool) -> Cell {
+    let trace = paper_trace(n, steps, 9);
+    let params = Params::paper_section7(n);
+
+    let (full_ms, full_fp) = time_engine(
+        || {
+            let mut c = Cluster::new(params, 1);
+            c.check_invariants().expect("fresh cluster invariants");
+            c.set_step_jobs(step_jobs);
+            c
+        },
+        &trace,
+        reps,
+    );
+    let (simple_ms, simple_fp) = time_engine(
+        || {
+            let mut c = SimpleCluster::new(params, 1);
+            c.set_step_jobs(step_jobs);
+            c
+        },
+        &trace,
+        reps,
+    );
+    if verify {
+        // Re-run once more to invariant-check the *final* state (the
+        // timed closure only sees the fresh one).
+        let mut c = Cluster::new(params, 1);
+        c.set_step_jobs(step_jobs);
+        let mut s = SimpleCluster::new(params, 1);
+        s.set_step_jobs(step_jobs);
+        let mut replay = trace.replay();
+        let mut events = Vec::new();
+        for t in 0..steps {
+            replay.events_at(t, &mut events);
+            c.step(&events);
+            s.step(&events);
+        }
+        c.check_invariants().expect("final cluster invariants");
+        s.check_invariants().expect("final simple invariants");
+        assert_eq!(fingerprint(&c), full_fp, "verification run diverged");
+        assert_eq!(fingerprint(&s), simple_fp, "verification run diverged");
+    }
+    Cell {
+        n,
+        step_jobs,
+        full_ms,
+        full_fp,
+        simple_ms,
+        simple_fp,
+    }
+}
+
+const STEP_JOBS: [usize; 2] = [1, 4];
+
+fn matrix(smoke: bool) -> (&'static [usize], usize, usize) {
+    if smoke {
+        (&[16, 64], 120, 2)
+    } else {
+        (&[64, 512, 4096], 500, 3)
+    }
+}
+
+/// `--check` mode: re-runs the baseline's matrix (checksums are
+/// machine-independent) and compares every cell against the committed
+/// file.  Exits 1 on any drift.
+fn check_against(baseline_path: &str) -> ! {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {baseline_path}: {e}"));
+    let smoke = doc.get("matrix").and_then(Json::as_str) == Some("smoke");
+    let field = |cell: &Json, key: &str| -> String {
+        cell.get(key)
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("cell is missing {key}"))
+            .to_string()
+    };
+    let baseline: Vec<(u64, u64, String, String)> = doc
+        .get("sizes")
+        .and_then(Json::as_arr)
+        .expect("baseline has a sizes array")
+        .iter()
+        .map(|cell| {
+            (
+                cell.get("n").and_then(Json::as_f64).expect("cell n") as u64,
+                cell.get("step_jobs").and_then(Json::as_f64).unwrap_or(1.0) as u64, // pre-step-jobs baselines are sequential
+                field(cell, "full_checksum"),
+                field(cell, "simple_checksum"),
+            )
+        })
+        .collect();
+    let (_, steps, _) = matrix(smoke);
+    println!(
+        "bench_core --check: verifying {} cells against {baseline_path} \
+         ({} matrix)\n",
+        baseline.len(),
+        if smoke { "smoke" } else { "paper" }
+    );
+    let mut drifted = 0usize;
+    for (n, step_jobs, want_full, want_simple) in &baseline {
+        // One rep suffices: checksums do not depend on timing.
+        let cell = run_cell(*n as usize, *step_jobs as usize, steps, 1, false);
+        for (engine, want, got) in [
+            ("full", want_full, &cell.full_fp),
+            ("simple", want_simple, &cell.simple_fp),
+        ] {
+            if want == got {
+                println!("  n={n:<5} sj={step_jobs} {engine:<7} ok    {got}");
+            } else {
+                println!("  n={n:<5} sj={step_jobs} {engine:<7} DRIFT baseline {want} != {got}");
+                drifted += 1;
+            }
+        }
+    }
+    if drifted > 0 {
+        println!(
+            "\n{drifted} checksum(s) drifted from {baseline_path}: the simulation \
+             results changed.  If intentional, regenerate the baseline."
+        );
+        std::process::exit(1);
+    }
+    println!("\nAll checksums match {baseline_path}.");
+    std::process::exit(0);
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.flag("smoke");
     let out: String = args.get("out", "BENCH_core.json".to_string());
-    let (sizes, steps, reps): (&[usize], usize, usize) = if smoke {
-        (&[16, 64], 120, 2)
-    } else {
-        (&[64, 512, 4096], 500, 3)
-    };
+    let check: String = args.get("check", String::new());
+    if !check.is_empty() {
+        check_against(&check);
+    }
+    let (sizes, steps, reps) = matrix(smoke);
 
     println!(
         "bench_core: engine scaling on the paper workload \
-         ({} matrix, {steps} steps, min of {reps})\n",
-        if smoke { "smoke" } else { "paper" }
+         ({} matrix, {steps} steps, min of {reps}, {} effective cores)\n",
+        if smoke { "smoke" } else { "paper" },
+        default_jobs()
     );
 
     let mut cells = Vec::new();
     for &n in sizes {
-        let trace = paper_trace(n, steps, 9);
-        let params = Params::paper_section7(n);
-
-        let (full_ms, full_fp) = time_engine(
-            || {
-                let c = Cluster::new(params, 1);
-                c.check_invariants().expect("fresh cluster invariants");
-                c
-            },
-            &trace,
-            reps,
-        );
-        // Re-run once more to invariant-check the *final* state (the
-        // timed closure only sees the fresh one).
-        {
-            let mut c = Cluster::new(params, 1);
-            let mut replay = trace.replay();
-            let mut events = Vec::new();
-            for t in 0..steps {
-                replay.events_at(t, &mut events);
-                c.step(&events);
+        let mut seq: Option<(String, String)> = None;
+        for step_jobs in STEP_JOBS {
+            let cell = run_cell(n, step_jobs, steps, reps, step_jobs == 1);
+            match &seq {
+                None => seq = Some((cell.full_fp.clone(), cell.simple_fp.clone())),
+                Some((full, simple)) => {
+                    // The wave executor's whole contract: bit-identical
+                    // results at every step_jobs.
+                    assert_eq!(&cell.full_fp, full, "step_jobs={step_jobs} full drifted");
+                    assert_eq!(
+                        &cell.simple_fp, simple,
+                        "step_jobs={step_jobs} simple drifted"
+                    );
+                }
             }
-            c.check_invariants().expect("final cluster invariants");
-            assert_eq!(fingerprint(&c), full_fp, "verification run diverged");
-        }
-
-        let (simple_ms, simple_fp) = time_engine(|| SimpleCluster::new(params, 1), &trace, reps);
-        {
-            let mut c = SimpleCluster::new(params, 1);
-            let mut replay = trace.replay();
-            let mut events = Vec::new();
-            for t in 0..steps {
-                replay.events_at(t, &mut events);
-                c.step(&events);
-            }
-            c.check_invariants().expect("final simple invariants");
-            assert_eq!(fingerprint(&c), simple_fp, "verification run diverged");
-        }
-
-        println!(
-            "  n={n:<5} full {full_ms:>10.2} ms  ({full_fp})   simple {simple_ms:>9.2} ms  \
-             ({simple_fp})"
-        );
-        if !smoke && n == 4096 {
-            assert!(
-                full_ms < 60_000.0,
-                "full model at n=4096 must finish 500 steps in < 60 s, took {full_ms:.0} ms"
+            println!(
+                "  n={:<5} sj={} full {:>10.2} ms  ({})   simple {:>9.2} ms  ({})",
+                cell.n, cell.step_jobs, cell.full_ms, cell.full_fp, cell.simple_ms, cell.simple_fp
             );
-        }
+            if !smoke && n == 4096 && step_jobs == 1 {
+                assert!(
+                    cell.full_ms < 60_000.0,
+                    "full model at n=4096 must finish 500 steps in < 60 s, took {:.0} ms",
+                    cell.full_ms
+                );
+            }
 
-        let ms3 = |x: f64| Json::Float((x * 1000.0).round() / 1000.0);
-        cells.push(Json::Obj(vec![
-            ("n".into(), (n as u64).to_json()),
-            ("full_ms".into(), ms3(full_ms)),
-            ("full_checksum".into(), full_fp.to_json()),
-            ("simple_ms".into(), ms3(simple_ms)),
-            ("simple_checksum".into(), simple_fp.to_json()),
-        ]));
+            let ms3 = |x: f64| Json::Float((x * 1000.0).round() / 1000.0);
+            cells.push(Json::Obj(vec![
+                ("n".into(), (cell.n as u64).to_json()),
+                ("step_jobs".into(), (cell.step_jobs as u64).to_json()),
+                ("full_ms".into(), ms3(cell.full_ms)),
+                ("full_checksum".into(), cell.full_fp.to_json()),
+                ("simple_ms".into(), ms3(cell.simple_ms)),
+                ("simple_checksum".into(), cell.simple_fp.to_json()),
+            ]));
+        }
     }
 
     let doc = Json::Obj(vec![
@@ -163,6 +288,7 @@ fn main() {
         ),
         ("steps".into(), (steps as u64).to_json()),
         ("reps".into(), (reps as u64).to_json()),
+        ("effective_cores".into(), (default_jobs() as u64).to_json()),
         ("sizes".into(), Json::Arr(cells)),
     ]);
     std::fs::write(&out, doc.render_pretty()).expect("JSON written");

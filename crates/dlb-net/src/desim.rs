@@ -56,14 +56,13 @@
 //! holds between any two events, not just at quiescence (tested, and
 //! property-tested against arbitrary fault plans).
 
+use crate::equeue::CalendarQueue;
 use crate::rng::stream;
 use dlb_core::{Metrics, Params};
 use dlb_faults::{CrashMode, FaultInjector, FaultPlan, MessageClass, MessageFate};
 use rand::prelude::*;
 use rand::seq::index::sample;
 use rand_chacha::ChaCha8Rng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// How often an initiator re-requests silent partners before writing
 /// them off as refusals.
@@ -233,7 +232,10 @@ impl std::ops::AddAssign for AsyncStats {
 pub struct AsyncNetwork {
     config: AsyncConfig,
     procs: Vec<ProcState>,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Delivery queue: a calendar queue keyed on the delivery tick.
+    /// `seq` is strictly monotone across every push site, so the queue's
+    /// FIFO-within-tick order equals the old heap's `(time, seq)` order.
+    queue: CalendarQueue<Event>,
     now: u64,
     seq: u64,
     in_flight: u64,
@@ -253,7 +255,7 @@ impl AsyncNetwork {
         AsyncNetwork {
             config,
             procs: vec![ProcState::default(); config.params.n()],
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             now: 0,
             seq: 0,
             in_flight: 0,
@@ -311,22 +313,28 @@ impl AsyncNetwork {
         let mut net = AsyncNetwork::new(config);
         for c in injector.crashes() {
             net.seq += 1;
-            net.queue.push(Reverse(Event {
-                time: c.at,
-                seq: net.seq,
-                to: c.proc,
-                from: c.proc,
-                payload: Payload::Crash,
-            }));
-            if let Some(r) = c.recover_at {
-                net.seq += 1;
-                net.queue.push(Reverse(Event {
-                    time: r,
+            net.queue.push(
+                c.at,
+                Event {
+                    time: c.at,
                     seq: net.seq,
                     to: c.proc,
                     from: c.proc,
-                    payload: Payload::Recover,
-                }));
+                    payload: Payload::Crash,
+                },
+            );
+            if let Some(r) = c.recover_at {
+                net.seq += 1;
+                net.queue.push(
+                    r,
+                    Event {
+                        time: r,
+                        seq: net.seq,
+                        to: c.proc,
+                        from: c.proc,
+                        payload: Payload::Recover,
+                    },
+                );
             }
         }
         net.injector = Some(injector);
@@ -468,12 +476,8 @@ impl AsyncNetwork {
     }
 
     fn drain_until(&mut self, t: u64) {
-        while let Some(Reverse(ev)) = self.queue.peek().copied() {
-            if ev.time > t {
-                break;
-            }
-            self.queue.pop();
-            self.now = ev.time;
+        while let Some((time, ev)) = self.queue.pop_due(t) {
+            self.now = time;
             self.handle(ev);
         }
     }
@@ -522,23 +526,29 @@ impl AsyncNetwork {
             }
         }
         let time = self.now + self.config.latency + extra_delay;
-        self.queue.push(Reverse(Event {
+        self.queue.push(
             time,
-            seq: self.seq,
-            to,
-            from,
-            payload,
-        }));
-        if duplicate {
-            self.seq += 1;
-            self.stats.duplicated_messages += 1;
-            self.queue.push(Reverse(Event {
-                time: time + 1,
+            Event {
+                time,
                 seq: self.seq,
                 to,
                 from,
                 payload,
-            }));
+            },
+        );
+        if duplicate {
+            self.seq += 1;
+            self.stats.duplicated_messages += 1;
+            self.queue.push(
+                time + 1,
+                Event {
+                    time: time + 1,
+                    seq: self.seq,
+                    to,
+                    from,
+                    payload,
+                },
+            );
         }
     }
 
@@ -551,7 +561,7 @@ impl AsyncNetwork {
             from: to,
             payload,
         };
-        self.queue.push(Reverse(ev));
+        self.queue.push(ev.time, ev);
     }
 
     fn reply_timeout_delay(&self, attempt: u32) -> u64 {

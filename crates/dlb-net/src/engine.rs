@@ -18,8 +18,99 @@
 use crate::topology::Topology;
 use dlb_core::balance::even_shares_into;
 use dlb_core::{LoadBalancer, LoadEvent, Metrics, Params};
+use dlb_pool::par_map;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+
+/// Scratch buffers for executing one balance operation; one set per
+/// executing thread (thread-local on pool workers).
+#[derive(Default)]
+struct TopoScratch {
+    shares: Vec<u64>,
+    surplus: Vec<(usize, u64)>,
+    deficit: Vec<(usize, u64)>,
+}
+
+thread_local! {
+    static WAVE_SCRATCH: std::cell::RefCell<TopoScratch> =
+        std::cell::RefCell::new(TopoScratch::default());
+}
+
+/// What one executed operation produced; folded into the metrics and
+/// communication counters in trigger order.
+#[derive(Clone, Copy, Default)]
+struct OpOutcome {
+    packets: u64,
+    packet_hops: u64,
+    control_hops: u64,
+}
+
+/// Raw view of the per-processor load vectors.  Operations in one wave
+/// have disjoint member sets (enforced by the planner in
+/// [`TopoCluster::flush_pending`]), so concurrent executors touch
+/// disjoint entries.
+struct LoadsView {
+    loads: *mut u64,
+    l_old: *mut u64,
+}
+
+unsafe impl Send for LoadsView {}
+unsafe impl Sync for LoadsView {}
+
+/// Executes one hop-accounted equalisation over `members` (initiator
+/// first): the body of [`TopoCluster::full_balance`], shared by the
+/// sequential path and the wave executor.  Consumes no RNG.
+///
+/// # Safety
+///
+/// No other thread may concurrently touch the loads of `members`.
+unsafe fn execute_topo_balance(
+    view: &LoadsView,
+    members: &[usize],
+    dist: &[Vec<u32>],
+    s: &mut TopoScratch,
+) -> OpOutcome {
+    let initiator = members[0];
+    let mut out = OpOutcome::default();
+    for &m in &members[1..] {
+        out.control_hops += 2 * dist[initiator][m] as u64;
+    }
+    let total: u64 = members.iter().map(|&m| *view.loads.add(m)).sum();
+    even_shares_into(total, members.len(), &mut s.shares);
+
+    // Surplus -> deficit greedy matching for hop accounting.
+    s.surplus.clear();
+    s.deficit.clear();
+    for (&m, &share) in members.iter().zip(s.shares.iter()) {
+        let load = *view.loads.add(m);
+        if load > share {
+            s.surplus.push((m, load - share));
+        } else if share > load {
+            s.deficit.push((m, share - load));
+        }
+    }
+    let mut di = 0usize;
+    for &(from, excess) in &s.surplus {
+        let mut excess = excess;
+        while excess > 0 && di < s.deficit.len() {
+            let (to, need) = s.deficit[di];
+            let x = excess.min(need);
+            out.packets += x;
+            out.packet_hops += x * dist[from][to] as u64;
+            excess -= x;
+            if need == x {
+                di += 1;
+            } else {
+                s.deficit[di].1 = need - x;
+            }
+        }
+    }
+    for (&m, &share) in members.iter().zip(s.shares.iter()) {
+        *view.loads.add(m) = share;
+        *view.l_old.add(m) = share;
+    }
+    out
+}
 
 /// How balance partners are selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,10 +148,24 @@ pub struct TopoCluster {
     /// All-pairs hop distances, precomputed once.
     dist: Vec<Vec<u32>>,
     scratch_members: Vec<usize>,
-    scratch_shares: Vec<u64>,
-    scratch_surplus: Vec<(usize, u64)>,
-    scratch_deficit: Vec<(usize, u64)>,
     scratch_sample: Vec<usize>,
+    scratch_exec: TopoScratch,
+    /// Wave-executor parallelism; 1 executes every operation inline.
+    step_jobs: usize,
+    /// Member lists of deferred operations, flat, initiator first.
+    pending_members: Vec<usize>,
+    /// Member-list length per deferred operation (variable in
+    /// [`PartnerMode::Neighbors`]).
+    pending_lens: Vec<u32>,
+    /// `pending_member[i]` — processor `i` belongs to a deferred
+    /// operation, so its load is stale until the next flush.
+    pending_member: Vec<bool>,
+    /// Planner state: one past the last wave touching each processor.
+    wave_mark: Vec<u32>,
+    scratch_offsets: Vec<usize>,
+    scratch_wave_of: Vec<u32>,
+    scratch_wave_ops: Vec<usize>,
+    scratch_outcomes: Vec<OpOutcome>,
 }
 
 impl TopoCluster {
@@ -85,10 +190,17 @@ impl TopoCluster {
             comm: CommStats::default(),
             dist,
             scratch_members: Vec::new(),
-            scratch_shares: Vec::new(),
-            scratch_surplus: Vec::new(),
-            scratch_deficit: Vec::new(),
             scratch_sample: Vec::new(),
+            scratch_exec: TopoScratch::default(),
+            step_jobs: 1,
+            pending_members: Vec::new(),
+            pending_lens: Vec::new(),
+            pending_member: vec![false; n],
+            wave_mark: vec![0; n],
+            scratch_offsets: Vec::new(),
+            scratch_wave_of: Vec::new(),
+            scratch_wave_ops: Vec::new(),
+            scratch_outcomes: Vec::new(),
         }
     }
 
@@ -154,58 +266,133 @@ impl TopoCluster {
         }
     }
 
+    /// Draw phase of one balance operation: consumes RNG for partner
+    /// selection, then either executes inline (`step_jobs == 1`) or
+    /// defers the operation for the next conflict-free wave flush.
+    /// Either way the observable results are identical — execution
+    /// consumes no RNG and waves preserve trigger order per processor.
     fn full_balance(&mut self, initiator: usize) {
-        self.metrics.balance_ops += 1;
-        self.comm.ops += 1;
         let mut members = std::mem::take(&mut self.scratch_members);
         members.clear();
         members.push(initiator);
         self.partners_into(initiator, &mut members);
-        self.metrics.messages += members.len() as u64;
-        for &m in &members[1..] {
-            self.comm.control_hops += 2 * self.dist[initiator][m] as u64;
-        }
-        let total: u64 = members.iter().map(|&m| self.loads[m]).sum();
-        let mut shares = std::mem::take(&mut self.scratch_shares);
-        even_shares_into(total, members.len(), &mut shares);
-
-        // Surplus -> deficit greedy matching for hop accounting.
-        let mut surplus = std::mem::take(&mut self.scratch_surplus);
-        let mut deficit = std::mem::take(&mut self.scratch_deficit);
-        surplus.clear();
-        deficit.clear();
-        for (&m, &share) in members.iter().zip(shares.iter()) {
-            if self.loads[m] > share {
-                surplus.push((m, self.loads[m] - share));
-            } else if share > self.loads[m] {
-                deficit.push((m, share - self.loads[m]));
+        if self.step_jobs > 1 {
+            self.pending_lens.push(members.len() as u32);
+            for &m in &members {
+                self.pending_members.push(m);
+                self.pending_member[m] = true;
             }
+            self.scratch_members = members;
+            return;
         }
-        let mut di = 0usize;
-        for &(from, excess) in &surplus {
-            let mut excess = excess;
-            while excess > 0 && di < deficit.len() {
-                let (to, need) = deficit[di];
-                let x = excess.min(need);
-                self.comm.packets += x;
-                self.comm.packet_hops += x * self.dist[from][to] as u64;
-                self.metrics.packets_migrated += x;
-                excess -= x;
-                if need == x {
-                    di += 1;
-                } else {
-                    deficit[di].1 = need - x;
+        let mut scratch = std::mem::take(&mut self.scratch_exec);
+        let view = LoadsView {
+            loads: self.loads.as_mut_ptr(),
+            l_old: self.l_old.as_mut_ptr(),
+        };
+        let out = unsafe { execute_topo_balance(&view, &members, &self.dist, &mut scratch) };
+        self.scratch_exec = scratch;
+        self.fold_outcome(&members, out);
+        self.scratch_members = members;
+    }
+
+    /// Accounts one executed operation; called in trigger order so the
+    /// counters accumulate exactly as in sequential execution.
+    fn fold_outcome(&mut self, members: &[usize], out: OpOutcome) {
+        self.metrics.balance_ops += 1;
+        self.comm.ops += 1;
+        self.metrics.messages += members.len() as u64;
+        self.comm.control_hops += out.control_hops;
+        self.comm.packets += out.packets;
+        self.comm.packet_hops += out.packet_hops;
+        self.metrics.packets_migrated += out.packets;
+    }
+
+    /// Executes every deferred operation: plans conflict-free waves
+    /// greedily in trigger order, runs each wave on the shared worker
+    /// pool, then folds the outcomes back in trigger order.
+    fn flush_pending(&mut self) {
+        if self.pending_lens.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_members);
+        let lens = std::mem::take(&mut self.pending_lens);
+        let count = lens.len();
+        for &p in &pending {
+            self.pending_member[p] = false;
+        }
+        let step_jobs = self.step_jobs;
+        let mut offsets = std::mem::take(&mut self.scratch_offsets);
+        offsets.clear();
+        let mut acc = 0usize;
+        for &len in &lens {
+            offsets.push(acc);
+            acc += len as usize;
+        }
+        let mut wave_of = std::mem::take(&mut self.scratch_wave_of);
+        wave_of.clear();
+        let mut waves = 0u32;
+        for k in 0..count {
+            let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+            let w = members
+                .iter()
+                .map(|&mm| self.wave_mark[mm])
+                .max()
+                .unwrap_or(0);
+            for &mm in members {
+                self.wave_mark[mm] = w + 1;
+            }
+            wave_of.push(w);
+            waves = waves.max(w + 1);
+        }
+        for &p in &pending {
+            self.wave_mark[p] = 0;
+        }
+
+        let mut outcomes = std::mem::take(&mut self.scratch_outcomes);
+        outcomes.clear();
+        outcomes.resize(count, OpOutcome::default());
+        let mut wave_ops = std::mem::take(&mut self.scratch_wave_ops);
+        {
+            let view = LoadsView {
+                loads: self.loads.as_mut_ptr(),
+                l_old: self.l_old.as_mut_ptr(),
+            };
+            let dist = &self.dist;
+            for w in 0..waves {
+                wave_ops.clear();
+                wave_ops.extend((0..count).filter(|&k| wave_of[k] == w));
+                let view = &view;
+                let pending = &pending;
+                let wave_ops = &wave_ops;
+                let offsets = &offsets;
+                let lens = &lens;
+                let results = par_map(step_jobs.min(wave_ops.len()), wave_ops.len(), |i| {
+                    let k = wave_ops[i];
+                    let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+                    WAVE_SCRATCH.with(|s| unsafe {
+                        execute_topo_balance(view, members, dist, &mut s.borrow_mut())
+                    })
+                });
+                for (i, out) in results.into_iter().enumerate() {
+                    outcomes[wave_ops[i]] = out;
                 }
             }
         }
-        for (&m, &share) in members.iter().zip(shares.iter()) {
-            self.loads[m] = share;
-            self.l_old[m] = share;
+        for (k, out) in outcomes.iter().enumerate() {
+            let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+            self.fold_outcome(members, *out);
         }
-        self.scratch_surplus = surplus;
-        self.scratch_deficit = deficit;
-        self.scratch_shares = shares;
-        self.scratch_members = members;
+        outcomes.clear();
+        self.scratch_outcomes = outcomes;
+        self.scratch_wave_of = wave_of;
+        self.scratch_wave_ops = wave_ops;
+        self.scratch_offsets = offsets;
+        let (mut pending, mut lens) = (pending, lens);
+        pending.clear();
+        lens.clear();
+        self.pending_members = pending;
+        self.pending_lens = lens;
     }
 }
 
@@ -226,6 +413,12 @@ impl LoadBalancer for TopoCluster {
     fn step(&mut self, events: &[LoadEvent]) {
         assert_eq!(events.len(), self.params.n(), "one event per processor");
         for (i, &ev) in events.iter().enumerate() {
+            // A non-idle event reads this processor's load; if a
+            // deferred operation touches it, settle the backlog first so
+            // the read matches sequential execution.
+            if self.pending_member[i] && !matches!(ev, LoadEvent::Idle) {
+                self.flush_pending();
+            }
             match ev {
                 LoadEvent::Generate => {
                     self.loads[i] += 1;
@@ -244,10 +437,17 @@ impl LoadBalancer for TopoCluster {
                 LoadEvent::Idle => {}
             }
         }
+        // Deferred operations never cross a step boundary: observers
+        // read loads and counters between steps.
+        self.flush_pending();
     }
 
     fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    fn set_step_jobs(&mut self, jobs: usize) {
+        self.step_jobs = jobs.max(1);
     }
 
     fn name(&self) -> &'static str {
@@ -358,6 +558,33 @@ mod tests {
         let total: u64 = cluster.loads().iter().sum();
         let m = cluster.metrics();
         assert_eq!(total, m.generated - m.consumed);
+    }
+
+    #[test]
+    fn step_jobs_is_bit_identical_in_both_modes() {
+        for mode in [PartnerMode::GlobalRandom, PartnerMode::Neighbors] {
+            let params = Params::paper_section7(16);
+            let topo = Topology::Torus2D { w: 4, h: 4 };
+            let events: Vec<LoadEvent> = (0..16)
+                .map(|i| match i % 3 {
+                    0 => LoadEvent::Generate,
+                    1 => LoadEvent::Consume,
+                    _ => LoadEvent::Idle,
+                })
+                .collect();
+            let run = |jobs: usize| {
+                let mut c = TopoCluster::new(params, topo.clone(), mode, 7);
+                c.set_step_jobs(jobs);
+                for _ in 0..400 {
+                    c.step(&events);
+                }
+                (c.loads.clone(), c.l_old.clone(), *c.metrics(), *c.comm())
+            };
+            let seq = run(1);
+            for jobs in [2, 4, 8] {
+                assert_eq!(run(jobs), seq, "{mode:?} step_jobs={jobs}");
+            }
+        }
     }
 
     #[test]

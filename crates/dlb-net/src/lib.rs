@@ -24,11 +24,13 @@
 
 pub mod desim;
 pub mod engine;
+pub mod equeue;
 pub mod rng;
 pub mod runtime;
 pub mod topology;
 
 pub use desim::{AsyncConfig, AsyncNetwork, AsyncStats};
 pub use engine::{CommStats, PartnerMode, TopoCluster};
+pub use equeue::CalendarQueue;
 pub use runtime::{RuntimeConfig, RuntimeStats, ThreadedRuntime};
 pub use topology::Topology;

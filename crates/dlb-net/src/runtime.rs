@@ -37,9 +37,10 @@
 //! runtime's "messages" are mutex-protected queue operations that cannot
 //! be dropped; the asynchronous simulator (`desim`) covers those faults.
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
 
 use crate::rng::stream;
 use dlb_faults::{CrashMode, FaultInjector, FaultPlan};
@@ -141,6 +142,11 @@ struct Shared<'a, T> {
     /// Per-worker trace buffers (one per node, locked independently so
     /// tracing never serialises the workers).  `None` when untraced.
     trace: Option<&'a [TraceBuf]>,
+    /// Parking spot for workers with nothing to do (idle or crashed).
+    /// Busy-waiting instead starves the productive workers of CPU on
+    /// small machines — concurrent runtimes (e.g. the dlb-bnb test
+    /// suite) then livelock each other.
+    parking: &'a (Mutex<()>, Condvar),
 }
 
 impl<T> Shared<'_, T> {
@@ -154,6 +160,25 @@ impl<T> Shared<'_, T> {
 
     fn tracing(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Wakes every parked worker — called when new packets appear, when
+    /// balancing moved packets into possibly-parked workers' queues, and
+    /// when the run completes.
+    fn wake_all(&self) {
+        self.parking.1.notify_all();
+    }
+
+    /// Parks the calling worker until woken or `timeout`.  The timeout
+    /// bounds the cost of the benign notify/park race (wakers do not
+    /// hold the parking mutex while updating state), so a missed wakeup
+    /// delays a worker by at most `timeout` instead of losing it.
+    fn park(&self, timeout: Duration) {
+        let mut guard = self.parking.0.lock();
+        if self.outstanding.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.parking.1.wait_for(&mut guard, timeout);
     }
 }
 
@@ -261,6 +286,7 @@ impl ThreadedRuntime {
                 .collect()
         };
 
+        let parking = (Mutex::new(()), Condvar::new());
         let trace_bufs: Option<Vec<TraceBuf>> = sink
             .as_ref()
             .filter(|s| s.enabled())
@@ -279,6 +305,7 @@ impl ThreadedRuntime {
             recoveries: &recoveries,
             processed: &processed,
             trace: trace_bufs.as_deref(),
+            parking: &parking,
         };
 
         std::thread::scope(|scope| {
@@ -350,13 +377,20 @@ impl ThreadedRuntime {
                         };
                         if dropped > 0 {
                             shared.lost.fetch_add(dropped as u64, Ordering::Relaxed);
-                            shared
+                            let left = shared
                                 .outstanding
-                                .fetch_add(-(dropped as i64), Ordering::SeqCst);
+                                .fetch_add(-(dropped as i64), Ordering::SeqCst)
+                                - dropped as i64;
+                            if left == 0 {
+                                shared.wake_all();
+                            }
                         }
                     }
                 }
-                std::thread::yield_now();
+                // Sleep out the down window; the logical clock that ends
+                // it only advances when other workers process packets, so
+                // re-check on a timeout rather than spinning.
+                shared.park(Duration::from_millis(1));
                 continue;
             }
             if was_down {
@@ -393,26 +427,36 @@ impl ThreadedRuntime {
                         let mut st = shared.workers[id].lock();
                         st.queue.extend(spawn_buf.drain(..));
                     }
-                    shared.outstanding.fetch_add(spawned - 1, Ordering::SeqCst);
+                    let left =
+                        shared.outstanding.fetch_add(spawned - 1, Ordering::SeqCst) + (spawned - 1);
+                    if spawned > 0 || left == 0 {
+                        // New packets for idle workers to pull — or the
+                        // run is over and everyone should notice.
+                        shared.wake_all();
+                    }
                     Self::maybe_balance(config, id, shared, &mut rng, false);
                 }
                 None => {
                     // Idle: force a balancing attempt to pull work, then
-                    // back off briefly.
-                    Self::maybe_balance(config, id, shared, &mut rng, true);
-                    std::thread::yield_now();
+                    // park until queues change (or briefly, to re-check).
+                    if !Self::maybe_balance(config, id, shared, &mut rng, true) {
+                        shared.park(Duration::from_millis(1));
+                    }
                 }
             }
         }
     }
 
+    /// Runs the trigger check and, when it fires (or `force` is set), a
+    /// locked balance over the member group.  Returns whether any
+    /// packets moved — an idle caller that pulled nothing can park.
     fn maybe_balance<T: Send>(
         config: RuntimeConfig,
         id: usize,
         shared: &Shared<'_, T>,
         rng: &mut impl Rng,
         force: bool,
-    ) {
+    ) -> bool {
         let n = shared.workers.len();
         // Trigger check against the own queue (racy read is fine — the
         // balance itself re-reads under locks).
@@ -423,7 +467,7 @@ impl ThreadedRuntime {
         let grow = len > l_old && len as f64 >= config.f * l_old as f64 * (1.0 - 1e-9);
         let shrink = len < l_old && len as f64 <= l_old as f64 / config.f * (1.0 + 1e-9);
         if !(force || grow || shrink) {
-            return;
+            return false;
         }
 
         let mut members: Vec<usize> = vec![id];
@@ -515,6 +559,12 @@ impl ThreadedRuntime {
             guards[k].l_old = len;
         }
         shared.balance_ops.fetch_add(1, Ordering::Relaxed);
+        drop(guards);
+        if moved > 0 {
+            // Some members may be parked with freshly filled queues.
+            shared.wake_all();
+        }
+        moved > 0
     }
 }
 

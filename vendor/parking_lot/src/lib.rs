@@ -1,10 +1,12 @@
 //! Offline vendored facade over `std::sync` with the `parking_lot` API
 //! shape used by this workspace: a [`Mutex`] whose `lock()` returns the
-//! guard directly (no `Result`). Poisoning is transparently ignored —
-//! matching `parking_lot` semantics, a panicked holder does not wedge
-//! the lock for everyone else.
+//! guard directly (no `Result`) and a [`Condvar`] whose `wait_for`
+//! re-acquires through the caller's guard slot. Poisoning is
+//! transparently ignored — matching `parking_lot` semantics, a panicked
+//! holder does not wedge the lock for everyone else.
 
 use std::sync::PoisonError;
+use std::time::Duration;
 
 /// Guard returned by [`Mutex::lock`]; derefs to the protected value.
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
@@ -46,6 +48,63 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// rather than a notification.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with the `parking_lot` calling convention:
+/// `wait_for` takes the guard by `&mut` and leaves it re-acquired.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified or
+    /// `timeout` elapses; the lock is re-acquired before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        // std's `wait_timeout` consumes the guard and hands back a new
+        // one for the same mutex; move it through the caller's slot so
+        // the signature matches `parking_lot`. `wait_timeout` itself
+        // does not unwind, so the slot is never left holding a moved-out
+        // guard.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let (reacquired, result) = self
+                .0
+                .wait_timeout(taken, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(guard, reacquired);
+            WaitTimeoutResult(result.timed_out())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +135,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn condvar_times_out_and_wakes() {
+        use std::time::Duration;
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(1));
+        assert!(res.timed_out());
+        assert!(!*g);
+        drop(g);
+
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let waker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                *shared.0.lock() = true;
+                shared.1.notify_all();
+            })
+        };
+        let mut g = shared.0.lock();
+        while !*g {
+            shared.1.wait_for(&mut g, Duration::from_millis(1));
+        }
+        drop(g);
+        waker.join().unwrap();
     }
 
     #[test]
