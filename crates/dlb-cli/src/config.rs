@@ -254,7 +254,14 @@ impl ToJson for TopologyConfig {
 
 impl FromJson for TopologyConfig {
     fn from_json(value: &Json) -> Result<Self, String> {
-        match kind_of(value, "topology")? {
+        let kind = kind_of(value, "topology")?;
+        let allowed: &[&str] = match kind {
+            "torus" => &["kind", "w", "h"],
+            "hypercube" | "de-bruijn" => &["kind", "dim"],
+            _ => &["kind"],
+        };
+        dlb_json::reject_unknown(value, allowed)?;
+        match kind {
             "complete" => Ok(TopologyConfig::Complete),
             "ring" => Ok(TopologyConfig::Ring),
             "torus" => Ok(TopologyConfig::Torus {
@@ -340,7 +347,19 @@ impl ToJson for StrategyConfig {
 
 impl FromJson for StrategyConfig {
     fn from_json(value: &Json) -> Result<Self, String> {
-        match kind_of(value, "strategy")? {
+        let kind = kind_of(value, "strategy")?;
+        let allowed: &[&str] = match kind {
+            "full" => &["kind", "delta", "f", "c"],
+            "simple" => &["kind", "delta", "f"],
+            "async" => &["kind", "delta", "f", "latency"],
+            "weighted" => &["kind", "delta", "f", "speeds"],
+            "topo" => &["kind", "delta", "f", "topology", "neighbors_only"],
+            "diffusion" => &["kind", "topology", "alpha"],
+            "gradient" => &["kind", "topology", "low", "high"],
+            _ => &["kind"],
+        };
+        dlb_json::reject_unknown(value, allowed)?;
+        match kind {
             "full" => Ok(StrategyConfig::Full {
                 delta: dlb_json::req(value, "delta")?,
                 f: dlb_json::req(value, "f")?,
@@ -421,7 +440,17 @@ impl ToJson for WorkloadConfig {
 
 impl FromJson for WorkloadConfig {
     fn from_json(value: &Json) -> Result<Self, String> {
-        match kind_of(value, "workload")? {
+        let kind = kind_of(value, "workload")?;
+        let allowed: &[&str] = match kind {
+            "phase" => &["kind", "g", "c", "len"],
+            "one-producer" => &["kind", "producer"],
+            "uniform" => &["kind", "p_gen", "p_con"],
+            "moving-hotspot" => &["kind", "period", "p_con"],
+            "split" => &["kind", "swap_every"],
+            _ => &["kind"],
+        };
+        dlb_json::reject_unknown(value, allowed)?;
+        match kind {
             "phase" => Ok(WorkloadConfig::Phase {
                 g: pair(value, "g", default_g())?,
                 c: pair(value, "c", default_cc())?,
@@ -472,6 +501,20 @@ impl ToJson for Scenario {
 
 impl FromJson for Scenario {
     fn from_json(value: &Json) -> Result<Self, String> {
+        dlb_json::reject_unknown(
+            value,
+            &[
+                "n",
+                "steps",
+                "runs",
+                "seed",
+                "warmup_fraction",
+                "strategy",
+                "workload",
+                "faults",
+                "trace",
+            ],
+        )?;
         let faults = match value.get("faults") {
             None | Some(Json::Null) => None,
             Some(v) => Some(FaultPlan::from_json(v).map_err(|e| format!("faults: {e}"))?),
@@ -638,6 +681,60 @@ mod tests {
     }
 
     #[test]
+    fn unknown_keys_rejected_with_key_path() {
+        // Top level.
+        let text = r#"{
+            "n": 8, "steps": 100, "stepz": 1,
+            "strategy": {"kind": "simple", "delta": 1, "f": 1.2},
+            "workload": {"kind": "one-producer"}
+        }"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        assert!(err.contains("\"stepz\""), "{err}");
+
+        // Nested: the wrapping `field '...'` context forms the key path.
+        let text = r#"{
+            "n": 8, "steps": 100,
+            "strategy": {"kind": "simple", "delta": 1, "f": 1.2, "partners": 3},
+            "workload": {"kind": "one-producer"}
+        }"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        assert!(err.contains("field 'strategy'"), "{err}");
+        assert!(err.contains("\"partners\""), "{err}");
+
+        let text = r#"{
+            "n": 8, "steps": 100,
+            "strategy": {"kind": "simple", "delta": 1, "f": 1.2},
+            "workload": {"kind": "one-producer", "producers": 2}
+        }"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        assert!(err.contains("field 'workload'"), "{err}");
+        assert!(err.contains("\"producers\""), "{err}");
+
+        // Three levels deep: strategy -> topology.
+        let text = r#"{
+            "n": 8, "steps": 100,
+            "strategy": {"kind": "topo", "delta": 1, "f": 1.2,
+                         "topology": {"kind": "hypercube", "dim": 3, "w": 2}},
+            "workload": {"kind": "one-producer"}
+        }"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        assert!(err.contains("field 'strategy'"), "{err}");
+        assert!(err.contains("field 'topology'"), "{err}");
+        assert!(err.contains("\"w\""), "{err}");
+
+        // Fault plans are strict too.
+        let text = r#"{
+            "n": 8, "steps": 100,
+            "strategy": {"kind": "async", "delta": 1, "f": 1.2},
+            "workload": {"kind": "one-producer"},
+            "faults": {"loss": 0.1, "crashes": [{"proc": 1, "at": 5, "rejoin": 9}]}
+        }"#;
+        let err = Scenario::from_json(text).unwrap_err();
+        assert!(err.contains("faults"), "{err}");
+        assert!(err.contains("\"rejoin\""), "{err}");
+    }
+
+    #[test]
     fn async_latency_defaults() {
         let value = Json::parse(r#"{"kind": "async", "delta": 1, "f": 1.2}"#).unwrap();
         let parsed = StrategyConfig::from_json(&value).unwrap();
@@ -679,5 +776,32 @@ mod tests {
         );
         let back = Scenario::from_json(&s.to_json()).unwrap();
         assert_eq!(s, back);
+    }
+
+    /// Every committed scenario file must parse under the strict
+    /// (unknown-key-rejecting) loaders — `service_*.json` through the
+    /// serving loader, everything else through [`Scenario`].  A stray
+    /// or misspelled key in any shipped file fails here, not at a
+    /// user's command line.
+    #[test]
+    fn every_committed_scenario_file_parses_strictly() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(&dir).expect("scenarios/ exists") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            seen += 1;
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable scenario");
+            if name.starts_with("service_") {
+                dlb_serve::ServiceScenario::parse(&text)
+                    .unwrap_or_else(|e| panic!("scenarios/{name}: {e}"));
+            } else {
+                Scenario::from_json(&text).unwrap_or_else(|e| panic!("scenarios/{name}: {e}"));
+            }
+        }
+        assert!(seen >= 6, "expected the committed scenario set, saw {seen}");
     }
 }

@@ -4,23 +4,31 @@
 //! dlb demo [options]                  run the built-in §7 demo scenario
 //! dlb run <scenario.json> [options]   run a scenario from a JSON file
 //! dlb template                        print a scenario template to stdout
+//! dlb serve <scenario.json> [--mode sim|wall] [--workers N]
+//!                                     run the request-routing service
+//!                                     (see src/serve.rs for options)
 //!
 //! options:
 //!   --trace <path>   write a JSONL event trace (dlb-trace schema)
 //!   --jobs N         worker threads; output is identical for every N
 //!   --step-jobs N    worker threads inside each step (wave-executed
 //!                    balance operations); output is identical for every N
+//!   --wave-threshold N  minimum queued operations per flush before the
+//!                    wave executor engages (smaller flushes run
+//!                    sequentially); output is identical for every N
 //!   --profile        add per-step StepProfile events to the trace
 //! ```
 
 mod config;
 mod run;
+mod serve;
 
 use config::Scenario;
 use run::RunOptions;
 
-const USAGE: &str = "usage: dlb <demo | run <scenario.json> | template> \
-                     [--trace <path>] [--jobs N] [--step-jobs N] [--profile]";
+const USAGE: &str = "usage: dlb <demo | run <scenario.json> | template | \
+                     serve <scenario.json>> [--trace <path>] [--jobs N] \
+                     [--step-jobs N] [--wave-threshold N] [--profile]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +52,7 @@ fn main() {
                     .to_string(),
             ),
         },
+        Some("serve") => serve::serve_main(&args[1..]),
         Some("template") => {
             println!("{}", Scenario::demo().to_json());
             Ok(())
@@ -75,6 +84,13 @@ fn parse_options(rest: &[String]) -> Result<RunOptions, String> {
                 opts.step_jobs = raw
                     .parse()
                     .map_err(|e| format!("invalid --step-jobs {raw:?}: {e}"))?;
+            }
+            "--wave-threshold" => {
+                let raw = iter.next().ok_or("--wave-threshold needs a count")?;
+                opts.wave_threshold = Some(
+                    raw.parse()
+                        .map_err(|e| format!("invalid --wave-threshold {raw:?}: {e}"))?,
+                );
             }
             "--profile" => opts.profile = true,
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),

@@ -34,6 +34,10 @@ pub struct RunOptions {
     /// `--jobs` and `--step-jobs` compose without oversubscription, and
     /// output is identical for every value.
     pub step_jobs: usize,
+    /// Minimum queued-operation count for the wave executor; smaller
+    /// flushes run sequentially (`None` = engine default).  Output is
+    /// identical for every value.
+    pub wave_threshold: Option<usize>,
     /// Emit per-step `StepProfile` events (wall times are
     /// machine-dependent, so profiled traces are not byte-reproducible).
     pub profile: bool,
@@ -269,10 +273,14 @@ fn run_one_sync(
     tracing: bool,
     profile: bool,
     step_jobs: usize,
+    wave_threshold: Option<usize>,
 ) -> Result<RunOutcome, String> {
     let seed = stream_seed(scenario.seed, r as u64, StreamId::Balancer);
     let mut balancer = build_strategy(scenario, seed)?;
     balancer.set_step_jobs(step_jobs.max(1));
+    if let Some(threshold) = wave_threshold {
+        balancer.set_wave_threshold(threshold);
+    }
     let mut workload = build_workload(
         scenario,
         stream_seed(scenario.seed, r as u64, StreamId::Workload),
@@ -436,7 +444,14 @@ pub fn execute_with(scenario: &Scenario, opts: &RunOptions) -> Result<Report, St
             Some((delta, f, latency)) => {
                 run_one_async(scenario, r, tracing, opts.profile, delta, f, latency)
             }
-            None => run_one_sync(scenario, r, tracing, opts.profile, opts.step_jobs),
+            None => run_one_sync(
+                scenario,
+                r,
+                tracing,
+                opts.profile,
+                opts.step_jobs,
+                opts.wave_threshold,
+            ),
         });
 
     let mut sink = match &trace_path {
@@ -721,6 +736,7 @@ mod tests {
                 trace: Some(path.to_string_lossy().into_owned()),
                 jobs,
                 step_jobs,
+                wave_threshold: Some(0),
                 profile: false,
             };
             let report = execute_with(&scenario, &opts).unwrap();
@@ -753,6 +769,7 @@ mod tests {
             trace: Some(dir.join("t.jsonl").to_string_lossy().into_owned()),
             jobs: 2,
             step_jobs: 2,
+            wave_threshold: None,
             profile: true,
         };
         let traced = execute_with(&scenario, &opts).unwrap();

@@ -64,5 +64,7 @@ pub use params::{ExchangePolicy, Params};
 pub use recorder::LoadRecorder;
 pub use simple::SimpleCluster;
 pub use snapshot::ClusterSnapshot;
-pub use strategy::{imbalance_stats, ImbalanceStats, LoadBalancer, LoadEvent};
+pub use strategy::{
+    imbalance_stats, ImbalanceStats, LoadBalancer, LoadEvent, DEFAULT_WAVE_THRESHOLD,
+};
 pub use weighted::WeightedCluster;

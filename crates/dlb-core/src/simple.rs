@@ -109,6 +109,9 @@ pub struct SimpleCluster {
     step_no: u64,
     /// Intra-step parallelism (1 = execute at the trigger, as before).
     step_jobs: usize,
+    /// Flushes with fewer queued operations than this run sequentially
+    /// (see [`LoadBalancer::set_wave_threshold`]).
+    wave_threshold: usize,
     /// Flat member lists of queued operations, in trigger order
     /// (variable length under a crash mask — see `pending_lens`).
     pending_members: Vec<usize>,
@@ -150,6 +153,7 @@ impl SimpleCluster {
             sink: None,
             step_no: 0,
             step_jobs: 1,
+            wave_threshold: crate::strategy::DEFAULT_WAVE_THRESHOLD,
             pending_members: Vec::new(),
             pending_lens: Vec::new(),
             pending_member: vec![false; n],
@@ -329,31 +333,45 @@ impl SimpleCluster {
             offsets.push(acc);
             acc += len as usize;
         }
-        let mut wave_of = std::mem::take(&mut self.scratch_wave_of);
-        wave_of.clear();
-        let mut waves = 0u32;
-        for k in 0..count {
-            let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
-            let w = members
-                .iter()
-                .map(|&mm| self.wave_mark[mm])
-                .max()
-                .unwrap_or(0);
-            for &mm in members {
-                self.wave_mark[mm] = w + 1;
-            }
-            wave_of.push(w);
-            waves = waves.max(w + 1);
-        }
-        for &p in &pending {
-            self.wave_mark[p] = 0;
-        }
-
         let mut outcomes = std::mem::take(&mut self.scratch_outcomes);
         outcomes.clear();
-        outcomes.resize(count, OpOutcome::default());
+        let mut wave_of = std::mem::take(&mut self.scratch_wave_of);
         let mut wave_ops = std::mem::take(&mut self.scratch_wave_ops);
-        {
+        if count < self.wave_threshold {
+            // Tiny flush: wave planning and pool dispatch cost more than
+            // they save, and sequential execution in trigger order is
+            // exactly the per-processor order the waves reproduce — so
+            // skip the machinery (bit-identical results either way).
+            let mut shares = std::mem::take(&mut self.scratch_shares);
+            let view = LoadsView {
+                loads: self.loads.as_mut_ptr(),
+                l_old: self.l_old.as_mut_ptr(),
+            };
+            for k in 0..count {
+                let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+                outcomes.push(unsafe { execute_balance(&view, members, tracing, &mut shares) });
+            }
+            self.scratch_shares = shares;
+        } else {
+            wave_of.clear();
+            let mut waves = 0u32;
+            for k in 0..count {
+                let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+                let w = members
+                    .iter()
+                    .map(|&mm| self.wave_mark[mm])
+                    .max()
+                    .unwrap_or(0);
+                for &mm in members {
+                    self.wave_mark[mm] = w + 1;
+                }
+                wave_of.push(w);
+                waves = waves.max(w + 1);
+            }
+            for &p in &pending {
+                self.wave_mark[p] = 0;
+            }
+            outcomes.resize(count, OpOutcome::default());
             let view = LoadsView {
                 loads: self.loads.as_mut_ptr(),
                 l_old: self.l_old.as_mut_ptr(),
@@ -506,6 +524,10 @@ impl LoadBalancer for SimpleCluster {
 
     fn set_step_jobs(&mut self, jobs: usize) {
         self.step_jobs = jobs.max(1);
+    }
+
+    fn set_wave_threshold(&mut self, threshold: usize) {
+        self.wave_threshold = threshold;
     }
 }
 
@@ -662,9 +684,13 @@ mod tests {
     #[test]
     fn step_jobs_matches_sequential_including_masked() {
         let params = Params::paper_section7(16);
-        let run = |jobs: usize| {
+        // threshold 0 forces the wave executor for every flush; the
+        // default (n=16 < 32 queued ops) exercises the sequential
+        // fallback — both must match plain sequential stepping.
+        let run = |jobs: usize, threshold: usize| {
             let mut c = SimpleCluster::with_initial_load(params, 21, 40);
             c.set_step_jobs(jobs);
+            c.set_wave_threshold(threshold);
             let mut rng = ChaCha8Rng::seed_from_u64(77);
             let mut down = vec![false; 16];
             for round in 0..300 {
@@ -685,9 +711,15 @@ mod tests {
             c.check_invariants().unwrap();
             (c.loads(), *c.metrics())
         };
-        let seq = run(1);
+        let seq = run(1, crate::DEFAULT_WAVE_THRESHOLD);
         for jobs in [2, 4, 8] {
-            assert_eq!(run(jobs), seq, "jobs={jobs}");
+            for threshold in [0, crate::DEFAULT_WAVE_THRESHOLD] {
+                assert_eq!(
+                    run(jobs, threshold),
+                    seq,
+                    "jobs={jobs} threshold={threshold}"
+                );
+            }
         }
     }
 

@@ -98,7 +98,20 @@ pub trait LoadBalancer {
     /// for every value (including 1 = fully sequential); the default is
     /// a no-op so strategies without a wave executor stay sequential.
     fn set_step_jobs(&mut self, _jobs: usize) {}
+
+    /// Sets the minimum queued-operation count at which a flush uses the
+    /// wave executor; smaller flushes run sequentially in trigger order
+    /// (bit-identical — the waves reproduce exactly that order per
+    /// processor), skipping wave planning and pool dispatch so
+    /// `step_jobs > 1` never regresses tiny steps.  `0` forces waves for
+    /// every flush.  The default is a no-op for strategies without a
+    /// wave executor.
+    fn set_wave_threshold(&mut self, _threshold: usize) {}
 }
+
+/// Default [`LoadBalancer::set_wave_threshold`] value: below this many
+/// queued operations per flush, pool dispatch costs more than it saves.
+pub const DEFAULT_WAVE_THRESHOLD: usize = 32;
 
 /// Summary statistics of a load distribution snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]

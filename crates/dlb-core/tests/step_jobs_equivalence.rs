@@ -9,13 +9,17 @@
 //! for every `step_jobs` in {1, 2, 4, 8}.
 
 use dlb_core::reference::{RefCluster, RefSimpleCluster};
-use dlb_core::{Cluster, LoadBalancer, LoadEvent, Params, SimpleCluster};
+use dlb_core::{Cluster, LoadBalancer, LoadEvent, Params, SimpleCluster, DEFAULT_WAVE_THRESHOLD};
 use dlb_trace::BufferSink;
 use proptest::{prop_assert, prop_assert_eq, proptest};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 const STEP_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Both flush paths: 0 forces the wave executor for every flush; the
+/// default makes these small instances take the sequential fallback.
+const THRESHOLDS: [usize; 2] = [0, DEFAULT_WAVE_THRESHOLD];
 
 /// Same mixed workload shape as `opt_equivalence.rs`: build-up first,
 /// drain-down after the halfway point.
@@ -81,8 +85,10 @@ proptest! {
         let seq_trace = trace_bytes(&seq_buf);
 
         for jobs in STEP_JOBS {
+          for threshold in THRESHOLDS {
             let mut par = Cluster::with_initial_load(params, seed, initial);
             par.set_step_jobs(jobs);
+            par.set_wave_threshold(threshold);
             let par_buf = BufferSink::new();
             par.set_trace_sink(par_buf.handle());
             for events in &trace {
@@ -106,6 +112,7 @@ proptest! {
                 trace_bytes(&par_buf), seq_trace.clone(),
                 "trace bytes diverged at step_jobs={}", jobs);
             prop_assert!(par.check_invariants().is_ok());
+          }
         }
     }
 
@@ -146,8 +153,10 @@ proptest! {
         let seq_trace = trace_bytes(&seq_buf);
 
         for jobs in STEP_JOBS {
+          for threshold in THRESHOLDS {
             let mut par = SimpleCluster::new(params, seed);
             par.set_step_jobs(jobs);
+            par.set_wave_threshold(threshold);
             let par_buf = BufferSink::new();
             par.set_trace_sink(par_buf.handle());
             for (events, down) in &trace {
@@ -161,6 +170,7 @@ proptest! {
                 trace_bytes(&par_buf), seq_trace.clone(),
                 "trace bytes diverged at step_jobs={}", jobs);
             prop_assert!(par.check_invariants().is_ok());
+          }
         }
     }
 }

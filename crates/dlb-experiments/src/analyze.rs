@@ -210,8 +210,14 @@ pub fn analyze(events: &[TraceEvent]) -> Vec<RunAnalysis> {
             } => {
                 accum.entry(*step).or_default().load = Some((*min, *max, *total));
             }
+            // The schema-v2 serving events (`req`/`req_done`/`redirect`)
+            // describe requests, not the balancing algorithm this
+            // analysis reconstructs; `dlb serve` reports them itself.
             TraceEvent::MarkerMoved { .. }
             | TraceEvent::StepProfile { .. }
+            | TraceEvent::RequestRouted { .. }
+            | TraceEvent::RequestCompleted { .. }
+            | TraceEvent::RequestsRedirected { .. }
             | TraceEvent::RunFinished { .. } => {}
             TraceEvent::RunStarted { .. } => unreachable!("handled above"),
         }

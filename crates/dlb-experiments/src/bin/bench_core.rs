@@ -289,6 +289,10 @@ fn main() {
         ("steps".into(), (steps as u64).to_json()),
         ("reps".into(), (reps as u64).to_json()),
         ("effective_cores".into(), (default_jobs() as u64).to_json()),
+        (
+            "wave_threshold".into(),
+            (dlb_core::DEFAULT_WAVE_THRESHOLD as u64).to_json(),
+        ),
         ("sizes".into(), Json::Arr(cells)),
     ]);
     std::fs::write(&out, doc.render_pretty()).expect("JSON written");

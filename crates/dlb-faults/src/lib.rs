@@ -90,6 +90,7 @@ impl ToJson for CrashEvent {
 
 impl FromJson for CrashEvent {
     fn from_json(value: &Json) -> Result<Self, String> {
+        dlb_json::reject_unknown(value, &["proc", "at", "recover_at"])?;
         Ok(CrashEvent {
             proc: dlb_json::req(value, "proc")?,
             at: dlb_json::req(value, "at")?,
@@ -134,6 +135,7 @@ impl ToJson for PartitionEvent {
 
 impl FromJson for PartitionEvent {
     fn from_json(value: &Json) -> Result<Self, String> {
+        dlb_json::reject_unknown(value, &["from", "until", "group"])?;
         Ok(PartitionEvent {
             from: dlb_json::req(value, "from")?,
             until: dlb_json::req(value, "until")?,
@@ -259,6 +261,19 @@ impl ToJson for FaultPlan {
 
 impl FromJson for FaultPlan {
     fn from_json(value: &Json) -> Result<Self, String> {
+        dlb_json::reject_unknown(
+            value,
+            &[
+                "seed",
+                "loss",
+                "transfer_loss",
+                "duplication",
+                "jitter",
+                "crash_mode",
+                "crashes",
+                "partitions",
+            ],
+        )?;
         Ok(FaultPlan {
             seed: dlb_json::field_or(value, "seed", 0)?,
             loss: dlb_json::field_or(value, "loss", 0.0)?,

@@ -605,9 +605,41 @@ pub fn req<T: FromJson>(obj: &Json, key: &str) -> Result<T, String> {
     T::from_json(field(obj, key)?).map_err(|e| format!("field '{key}': {e}"))
 }
 
+/// Rejects keys outside `allowed` with a key-path error, so a typo in a
+/// config file fails loudly instead of silently falling back to a
+/// default.  Callers that decode nested objects via [`req`]/[`field_or`]
+/// get the full path for free: the nested error is wrapped as
+/// `field 'outer': unknown key "inner_typo" ...`.
+///
+/// Non-object values pass (the decoder reports its own type error).
+pub fn reject_unknown(value: &Json, allowed: &[&str]) -> Result<(), String> {
+    if let Json::Obj(entries) = value {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown key {key:?} (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reject_unknown_names_the_stray_key() {
+        let value = Json::parse(r#"{"n": 4, "stepz": 9}"#).unwrap();
+        assert!(reject_unknown(&value, &["n", "stepz"]).is_ok());
+        let err = reject_unknown(&value, &["n", "steps"]).unwrap_err();
+        assert!(err.contains("\"stepz\""), "{err}");
+        assert!(err.contains("steps"), "{err}");
+        // Non-objects pass; the decoder reports its own type error.
+        assert!(reject_unknown(&Json::Int(3), &[]).is_ok());
+    }
 
     #[test]
     fn scalar_round_trips() {

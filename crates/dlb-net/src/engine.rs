@@ -152,6 +152,9 @@ pub struct TopoCluster {
     scratch_exec: TopoScratch,
     /// Wave-executor parallelism; 1 executes every operation inline.
     step_jobs: usize,
+    /// Flushes with fewer queued operations than this run sequentially
+    /// (see [`LoadBalancer::set_wave_threshold`]).
+    wave_threshold: usize,
     /// Member lists of deferred operations, flat, initiator first.
     pending_members: Vec<usize>,
     /// Member-list length per deferred operation (variable in
@@ -193,6 +196,7 @@ impl TopoCluster {
             scratch_sample: Vec::new(),
             scratch_exec: TopoScratch::default(),
             step_jobs: 1,
+            wave_threshold: dlb_core::DEFAULT_WAVE_THRESHOLD,
             pending_members: Vec::new(),
             pending_lens: Vec::new(),
             pending_member: vec![false; n],
@@ -329,31 +333,47 @@ impl TopoCluster {
             offsets.push(acc);
             acc += len as usize;
         }
-        let mut wave_of = std::mem::take(&mut self.scratch_wave_of);
-        wave_of.clear();
-        let mut waves = 0u32;
-        for k in 0..count {
-            let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
-            let w = members
-                .iter()
-                .map(|&mm| self.wave_mark[mm])
-                .max()
-                .unwrap_or(0);
-            for &mm in members {
-                self.wave_mark[mm] = w + 1;
-            }
-            wave_of.push(w);
-            waves = waves.max(w + 1);
-        }
-        for &p in &pending {
-            self.wave_mark[p] = 0;
-        }
-
         let mut outcomes = std::mem::take(&mut self.scratch_outcomes);
         outcomes.clear();
-        outcomes.resize(count, OpOutcome::default());
+        let mut wave_of = std::mem::take(&mut self.scratch_wave_of);
         let mut wave_ops = std::mem::take(&mut self.scratch_wave_ops);
-        {
+        if count < self.wave_threshold {
+            // Tiny flush: wave planning and pool dispatch cost more than
+            // they save, and sequential execution in trigger order is
+            // exactly the per-processor order the waves reproduce — so
+            // skip the machinery (bit-identical results either way).
+            let mut scratch = std::mem::take(&mut self.scratch_exec);
+            let view = LoadsView {
+                loads: self.loads.as_mut_ptr(),
+                l_old: self.l_old.as_mut_ptr(),
+            };
+            for k in 0..count {
+                let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+                outcomes.push(unsafe {
+                    execute_topo_balance(&view, members, &self.dist, &mut scratch)
+                });
+            }
+            self.scratch_exec = scratch;
+        } else {
+            wave_of.clear();
+            let mut waves = 0u32;
+            for k in 0..count {
+                let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
+                let w = members
+                    .iter()
+                    .map(|&mm| self.wave_mark[mm])
+                    .max()
+                    .unwrap_or(0);
+                for &mm in members {
+                    self.wave_mark[mm] = w + 1;
+                }
+                wave_of.push(w);
+                waves = waves.max(w + 1);
+            }
+            for &p in &pending {
+                self.wave_mark[p] = 0;
+            }
+            outcomes.resize(count, OpOutcome::default());
             let view = LoadsView {
                 loads: self.loads.as_mut_ptr(),
                 l_old: self.l_old.as_mut_ptr(),
@@ -448,6 +468,10 @@ impl LoadBalancer for TopoCluster {
 
     fn set_step_jobs(&mut self, jobs: usize) {
         self.step_jobs = jobs.max(1);
+    }
+
+    fn set_wave_threshold(&mut self, threshold: usize) {
+        self.wave_threshold = threshold;
     }
 
     fn name(&self) -> &'static str {
@@ -572,17 +596,26 @@ mod tests {
                     _ => LoadEvent::Idle,
                 })
                 .collect();
-            let run = |jobs: usize| {
+            let run = |jobs: usize, threshold: usize| {
                 let mut c = TopoCluster::new(params, topo.clone(), mode, 7);
                 c.set_step_jobs(jobs);
+                c.set_wave_threshold(threshold);
                 for _ in 0..400 {
                     c.step(&events);
                 }
                 (c.loads.clone(), c.l_old.clone(), *c.metrics(), *c.comm())
             };
-            let seq = run(1);
+            let seq = run(1, dlb_core::DEFAULT_WAVE_THRESHOLD);
             for jobs in [2, 4, 8] {
-                assert_eq!(run(jobs), seq, "{mode:?} step_jobs={jobs}");
+                // Threshold 0 forces waves; the default takes the
+                // sequential fallback at this size.  Both must match.
+                for threshold in [0, dlb_core::DEFAULT_WAVE_THRESHOLD] {
+                    assert_eq!(
+                        run(jobs, threshold),
+                        seq,
+                        "{mode:?} step_jobs={jobs} threshold={threshold}"
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,44 @@
+//! `dlb-serve` — a request-routing service driven by the SPAA'93
+//! trigger rule.
+//!
+//! The paper balances *packets* between processors; this crate applies
+//! the same machinery to a serving front-end balancing *requests*
+//! between shard queues:
+//!
+//! - [`router::TriggerRouter`] — sticky key placement plus the paper's
+//!   grow/shrink `f`-trigger over live queue depths; a fired trigger
+//!   equalises the initiator with `δ` random alive partners using the
+//!   even-share primitive from [`dlb_core::balance`].
+//! - [`dlb_workload::service::RequestSource`] — the open-loop load
+//!   generator (diurnal rate phases, Zipf hot-key skew, seeded service
+//!   demands).
+//! - [`hist::LatencyHistogram`] — log-bucketed latency recording with
+//!   an order-independent merge and a ≤ 1/32 relative quantile error.
+//! - [`sim::run_sim`] — the simulated-clock engine on
+//!   [`dlb_net::CalendarQueue`]: single-threaded, bit-reproducible for
+//!   a fixed seed (and trivially independent of `--workers`), with the
+//!   conservation ledger `issued == completed + dropped + in_flight`
+//!   checked every tick.
+//! - [`wall::run_wall`] — the wall-clock engine (acceptor + `W` shard
+//!   workers on `dlb-pool`) producing the throughput and latency
+//!   figures committed as `BENCH_service.json`.
+//! - [`stats::ServiceStats`] — the byte-stable report both engines
+//!   emit, rendered through `dlb-json`.
+//!
+//! Crash/rejoin plans from `dlb-faults` compose with both engines, and
+//! per-request trace events (`req`, `req_done`, `redirect`; schema v2)
+//! flow through `dlb-trace`'s cached-enabled-flag [`dlb_trace::SharedSink`].
+
+pub mod hist;
+pub mod router;
+pub mod scenario;
+pub mod sim;
+pub mod stats;
+pub mod wall;
+
+pub use hist::LatencyHistogram;
+pub use router::{RebalancePlan, TriggerRouter};
+pub use scenario::ServiceScenario;
+pub use sim::run_sim;
+pub use stats::{ServiceStats, WallTiming};
+pub use wall::run_wall;

@@ -1,0 +1,455 @@
+//! The simulated-clock serving engine.
+//!
+//! A single-threaded event loop over [`dlb_net::CalendarQueue`]: the
+//! open-loop source injects arrivals, completions are scheduled events,
+//! and the fault plan's crashes/recoveries are events pushed up front.
+//! Being single-threaded is the point — the report is a pure function
+//! of `(scenario, seed)`, bit-identical across repeated runs *and*
+//! across `--workers` values (the worker count is deliberately ignored
+//! here), which is what lets CI golden-gate the stats JSON.
+//!
+//! Crash semantics (composition with `dlb-faults`):
+//! - A crashed shard's *queued* requests are always redistributed
+//!   round-robin over the alive shards (a request is not state that can
+//!   be frozen away — the client is still waiting).
+//! - The request *in service* follows the plan's [`CrashMode`]:
+//!   `Lost` destroys it (ledgered as `dropped`), `Frozen` requeues it
+//!   (its service restarts from scratch on re-dispatch).
+//! - The conservation ledger `issued == completed + dropped +
+//!   in_flight` is checked after every tick, not just at the end.
+
+use std::collections::VecDeque;
+
+use dlb_faults::{CrashMode, FaultInjector};
+use dlb_net::CalendarQueue;
+use dlb_trace::{SharedSink, TraceEvent};
+use dlb_workload::service::{Request, RequestSource};
+
+use crate::hist::LatencyHistogram;
+use crate::router::{RebalancePlan, TriggerRouter};
+use crate::scenario::ServiceScenario;
+use crate::stats::ServiceStats;
+
+enum Ev {
+    Arrive(Request),
+    /// `epoch` guards against completions of a since-crashed shard.
+    Complete {
+        shard: usize,
+        epoch: u64,
+        req: Request,
+    },
+    Down(usize),
+    Up(usize),
+}
+
+struct Engine {
+    queues: Vec<VecDeque<Request>>,
+    in_service: Vec<Option<Request>>,
+    epoch: Vec<u64>,
+    router: TriggerRouter,
+    hists: Vec<LatencyHistogram>,
+    per_shard_completed: Vec<u64>,
+    crash_mode: CrashMode,
+    sink: Option<SharedSink>,
+    completed: u64,
+    dropped: u64,
+    redirected: u64,
+    crashes: u64,
+    recoveries: u64,
+}
+
+impl Engine {
+    fn in_flight(&self) -> u64 {
+        let queued: usize = self.queues.iter().map(|q| q.len()).sum();
+        let serving = self.in_service.iter().filter(|s| s.is_some()).count();
+        (queued + serving) as u64
+    }
+
+    fn trace(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            if sink.enabled() {
+                sink.record(&build());
+            }
+        }
+    }
+
+    /// Moves queued requests to match a fired trigger's targets.  The
+    /// router already committed the target depths; here the *newest*
+    /// requests migrate (donor queue tails), so the FIFO order of what
+    /// stays put is untouched.
+    fn apply_plan(&mut self, plan: &RebalancePlan, now: u64) {
+        let mut pool: VecDeque<(usize, Request)> = VecDeque::new();
+        for (&m, &target) in plan.members.iter().zip(&plan.targets) {
+            let q = &mut self.queues[m];
+            while q.len() as u64 > target {
+                let r = q.pop_back().expect("len > target ≥ 0");
+                pool.push_front((m, r));
+            }
+        }
+        for (&m, &target) in plan.members.iter().zip(&plan.targets) {
+            let mut moved_from: Vec<(usize, u64)> = Vec::new();
+            while (self.queues[m].len() as u64) < target {
+                let (from, r) = pool.pop_front().expect("targets sum to total");
+                self.queues[m].push_back(r);
+                match moved_from.iter_mut().find(|(f, _)| *f == from) {
+                    Some((_, c)) => *c += 1,
+                    None => moved_from.push((from, 1)),
+                }
+            }
+            for (from, count) in moved_from {
+                self.redirected += count;
+                self.trace(|| TraceEvent::RequestsRedirected {
+                    step: now,
+                    from: from as u64,
+                    to: m as u64,
+                    count,
+                });
+            }
+        }
+        debug_assert!(pool.is_empty(), "even shares consume the whole pool");
+    }
+
+    fn route(&mut self, r: Request, now: u64) {
+        match self.router.place(r.key) {
+            Some(s) => {
+                self.queues[s].push_back(r);
+                self.trace(|| TraceEvent::RequestRouted {
+                    step: now,
+                    req: r.id,
+                    shard: s as u64,
+                });
+                if let Some(plan) = self.router.note_enqueue(s) {
+                    self.apply_plan(&plan, now);
+                }
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    fn crash(&mut self, s: usize, now: u64) {
+        self.crashes += 1;
+        self.epoch[s] += 1;
+        self.router.set_alive(s, false);
+        self.trace(|| TraceEvent::FaultInjected {
+            step: now,
+            proc: s as u64,
+            kind: "crash".into(),
+        });
+        let mut orphans = std::mem::take(&mut self.queues[s]);
+        match (self.crash_mode, self.in_service[s].take()) {
+            (CrashMode::Lost, Some(_)) => self.dropped += 1,
+            (CrashMode::Frozen, Some(r)) => orphans.push_front(r),
+            (_, None) => {}
+        }
+        self.router.clear(s);
+        if orphans.is_empty() {
+            return;
+        }
+        // Round-robin the orphans over the alive shards, wrapping from
+        // the crash site; per-destination counts feed the trace.
+        let n = self.queues.len();
+        let mut landed = vec![0u64; n];
+        let mut cursor = s;
+        'next: for r in orphans {
+            for _ in 0..n {
+                cursor = (cursor + 1) % n;
+                if self.router.is_alive(cursor) {
+                    self.queues[cursor].push_back(r);
+                    self.router.note_redistributed(cursor);
+                    landed[cursor] += 1;
+                    self.redirected += 1;
+                    continue 'next;
+                }
+            }
+            // Every shard is down: the request cannot survive.
+            self.dropped += 1;
+        }
+        for (to, &count) in landed.iter().enumerate() {
+            if count > 0 {
+                self.trace(|| TraceEvent::RequestsRedirected {
+                    step: now,
+                    from: s as u64,
+                    to: to as u64,
+                    count,
+                });
+            }
+        }
+    }
+
+    fn recover(&mut self, s: usize, now: u64) {
+        self.recoveries += 1;
+        self.router.set_alive(s, true);
+        self.trace(|| TraceEvent::CrashRecovered {
+            step: now,
+            proc: s as u64,
+        });
+    }
+}
+
+/// Runs the scenario on the simulated clock and returns the report.
+///
+/// Errors if the conservation ledger ever breaks or the drain exceeds a
+/// generous safety horizon (which would mean requests are stuck).
+pub fn run_sim(
+    scenario: &ServiceScenario,
+    sink: Option<SharedSink>,
+) -> Result<ServiceStats, String> {
+    scenario.validate()?;
+    let n = scenario.shards;
+    let injector = FaultInjector::new(scenario.faults.clone(), n)?;
+    let mut source = RequestSource::new(scenario.load.clone(), scenario.seed);
+    let mut eq: CalendarQueue<Ev> = CalendarQueue::new();
+    // Crash/recovery events first: construction-time pushes carry the
+    // earliest stamps, so within a tick they pop before completions and
+    // arrivals (down-then-reroute, never route-then-down).
+    for c in injector.crashes() {
+        eq.push(c.at, Ev::Down(c.proc));
+        if let Some(r) = c.recover_at {
+            eq.push(r, Ev::Up(c.proc));
+        }
+    }
+    let mut engine = Engine {
+        queues: vec![VecDeque::new(); n],
+        in_service: vec![None; n],
+        epoch: vec![0; n],
+        router: TriggerRouter::new(n, scenario.delta, scenario.f, scenario.seed)?,
+        hists: vec![LatencyHistogram::new(); n],
+        per_shard_completed: vec![0; n],
+        crash_mode: injector.crash_mode(),
+        sink,
+        completed: 0,
+        dropped: 0,
+        redirected: 0,
+        crashes: 0,
+        recoveries: 0,
+    };
+
+    let horizon = scenario.ticks;
+    // Worst-case drain: every request serialised on one shard, plus the
+    // latest fault event.  Exceeding this means requests are stuck.
+    let fault_horizon = injector
+        .crashes()
+        .iter()
+        .map(|c| c.recover_at.unwrap_or(c.at))
+        .max()
+        .unwrap_or(0);
+    let mut batch = Vec::new();
+    let mut now = 0u64;
+    loop {
+        if now < horizon {
+            batch.clear();
+            source.arrivals_at(now, &mut batch);
+            for &r in &batch {
+                eq.push(now, Ev::Arrive(r));
+            }
+        }
+        while let Some((_, ev)) = eq.pop_due(now) {
+            match ev {
+                Ev::Arrive(r) => engine.route(r, now),
+                Ev::Complete { shard, epoch, req } => {
+                    if engine.epoch[shard] != epoch {
+                        continue; // the shard crashed since; already handled
+                    }
+                    engine.in_service[shard] = None;
+                    engine.completed += 1;
+                    engine.per_shard_completed[shard] += 1;
+                    let latency = now - req.arrival;
+                    engine.hists[shard].record(latency);
+                    engine.trace(|| TraceEvent::RequestCompleted {
+                        step: now,
+                        req: req.id,
+                        shard: shard as u64,
+                        latency_ticks: latency,
+                    });
+                }
+                Ev::Down(s) => engine.crash(s, now),
+                Ev::Up(s) => engine.recover(s, now),
+            }
+        }
+        // Dispatch idle alive shards.
+        for s in 0..n {
+            if engine.in_service[s].is_some() || !engine.router.is_alive(s) {
+                continue;
+            }
+            if let Some(req) = engine.queues[s].pop_front() {
+                if let Some(plan) = engine.router.note_dequeue(s) {
+                    engine.apply_plan(&plan, now);
+                }
+                engine.in_service[s] = Some(req);
+                eq.push(
+                    now + req.service,
+                    Ev::Complete {
+                        shard: s,
+                        epoch: engine.epoch[s],
+                        req,
+                    },
+                );
+            }
+        }
+        let in_flight = engine.in_flight();
+        if source.issued() != engine.completed + engine.dropped + in_flight {
+            return Err(format!(
+                "conservation broken at tick {now}: issued {} != completed {} + dropped {} \
+                 + in_flight {in_flight}",
+                source.issued(),
+                engine.completed,
+                engine.dropped,
+            ));
+        }
+        if now >= horizon && in_flight == 0 && eq.is_empty() {
+            break;
+        }
+        let safety = horizon
+            .max(fault_horizon)
+            .saturating_add(
+                source
+                    .issued()
+                    .saturating_mul(scenario.load.service_ticks.1),
+            )
+            .saturating_add(1);
+        if now > safety {
+            return Err(format!("drain exceeded safety horizon {safety}"));
+        }
+        now += 1;
+    }
+    if let Some(sink) = &engine.sink {
+        sink.flush();
+    }
+
+    let mut latency = LatencyHistogram::new();
+    for h in &engine.hists {
+        latency.merge(h);
+    }
+    Ok(ServiceStats {
+        mode: "sim",
+        shards: n,
+        workers: 1,
+        seed: scenario.seed,
+        ticks_run: now,
+        issued: source.issued(),
+        completed: engine.completed,
+        dropped: engine.dropped,
+        in_flight: 0,
+        redirected: engine.redirected,
+        rebalances: engine.router.rebalances(),
+        crashes: engine.crashes,
+        recoveries: engine.recoveries,
+        latency,
+        per_shard_completed: engine.per_shard_completed,
+        wall: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_faults::{CrashEvent, FaultPlan};
+    use dlb_json::ToJson;
+    use dlb_trace::BufferSink;
+    use dlb_workload::service::{RatePhase, ServiceLoad};
+
+    fn scenario() -> ServiceScenario {
+        ServiceScenario {
+            shards: 4,
+            ticks: 400,
+            seed: 11,
+            delta: 2,
+            f: 2.0,
+            load: ServiceLoad {
+                phases: vec![
+                    RatePhase {
+                        ticks: 100,
+                        rate: 1.2,
+                    },
+                    RatePhase {
+                        ticks: 100,
+                        rate: 3.0,
+                    },
+                ],
+                keys: 64,
+                zipf_s: 1.1,
+                service_ticks: (1, 3),
+            },
+            tick_us: 50,
+            faults: FaultPlan::reliable(),
+        }
+    }
+
+    fn with_crash(mode: CrashMode) -> ServiceScenario {
+        let mut s = scenario();
+        s.faults.crash_mode = mode;
+        s.faults.crashes = vec![CrashEvent {
+            proc: 1,
+            at: 150,
+            recover_at: Some(300),
+        }];
+        s
+    }
+
+    #[test]
+    fn reliable_run_completes_everything() {
+        let stats = run_sim(&scenario(), None).expect("run");
+        assert!(stats.issued > 0);
+        assert_eq!(stats.completed, stats.issued);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.conservation_holds());
+        assert_eq!(stats.latency.count(), stats.completed);
+        assert_eq!(
+            stats.per_shard_completed.iter().sum::<u64>(),
+            stats.completed
+        );
+        assert!(stats.rebalances > 0, "skewed keys must fire the trigger");
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let a = run_sim(&scenario(), None).unwrap().to_json().render();
+        let b = run_sim(&scenario(), None).unwrap().to_json().render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lost_crash_drops_at_most_the_in_service_request() {
+        let stats = run_sim(&with_crash(CrashMode::Lost), None).expect("run");
+        assert!(stats.crashes == 1 && stats.recoveries == 1);
+        assert!(stats.dropped <= 1, "only the in-service request can die");
+        assert!(stats.conservation_holds());
+        assert!(stats.redirected > 0, "queued requests were redistributed");
+    }
+
+    #[test]
+    fn frozen_crash_drops_nothing() {
+        let stats = run_sim(&with_crash(CrashMode::Frozen), None).expect("run");
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.completed, stats.issued);
+        assert!(stats.conservation_holds());
+    }
+
+    #[test]
+    fn trace_carries_the_request_lifecycle() {
+        let buffer = BufferSink::new();
+        let stats = run_sim(&with_crash(CrashMode::Lost), Some(buffer.handle())).expect("run");
+        let events = buffer.take();
+        let routed = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RequestRouted { .. }))
+            .count() as u64;
+        let done = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RequestCompleted { .. }))
+            .count() as u64;
+        let redirected: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RequestsRedirected { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(routed, stats.issued, "every request is routed once");
+        assert_eq!(done, stats.completed);
+        assert_eq!(redirected, stats.redirected);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CrashRecovered { .. })));
+    }
+}

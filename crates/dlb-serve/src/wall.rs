@@ -1,0 +1,514 @@
+//! The wall-clock serving engine: a real acceptor thread plus `W`
+//! shard workers, all hosted on the `dlb-pool` worker pool.
+//!
+//! This mode exists to produce *bench numbers* (`BENCH_service.json`):
+//! sustained requests/sec and latency quantiles under the same request
+//! stream, trigger rule and crash plan as the simulated engine.  It is
+//! deliberately not bit-reproducible — thread interleavings decide how
+//! deep a queue is when a trigger fires — but the conservation ledger
+//! still holds exactly: every generated request is completed or
+//! (all-shards-down only) dropped.
+//!
+//! Division of labour keeps the locking one-queue-at-a-time and
+//! deadlock-free:
+//! - the **acceptor** (pool index 0) replays the precomputed arrival
+//!   schedule against the wall clock, places requests, runs the trigger
+//!   checks and performs all inter-queue moves (rebalances and crash
+//!   redistribution);
+//! - each **worker** drains the queues of its shards (`shard % W ==
+//!   worker`), sleeps out the service demand, and records latency into
+//!   its own histogram; the per-worker histograms are merged in index
+//!   order at the end (merging is order-independent, see `hist`).
+//!
+//! Crash composition differs from the simulated engine in one honest
+//! way: a request already being served when its shard crashes cannot be
+//! yanked out of an OS thread, so wall mode lets it complete regardless
+//! of the crash mode (queued requests are redistributed exactly as in
+//! sim mode).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dlb_core::balance::even_shares;
+use dlb_core::Params;
+use dlb_trace::{SharedSink, TraceEvent};
+use dlb_workload::service::{Request, RequestSource};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::hist::LatencyHistogram;
+use crate::scenario::ServiceScenario;
+use crate::stats::{ServiceStats, WallTiming};
+
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Request>>>,
+    /// Queue lens mirrored outside the locks so workers can scan for
+    /// work and the acceptor can run trigger checks without contending.
+    depths: Vec<AtomicU64>,
+    down: Vec<AtomicBool>,
+    accepting_done: AtomicBool,
+    completed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Shared {
+    fn push(&self, s: usize, r: Request) {
+        self.queues[s].lock().expect("queue lock").push_back(r);
+        self.depths[s].fetch_add(1, Ordering::Release);
+    }
+
+    fn pop(&self, s: usize) -> Option<Request> {
+        let mut q = self.queues[s].lock().expect("queue lock");
+        let r = q.pop_front();
+        if r.is_some() {
+            self.depths[s].fetch_sub(1, Ordering::Release);
+        }
+        r
+    }
+}
+
+enum Transition {
+    Down,
+    Up,
+}
+
+#[derive(Default)]
+struct AcceptorOut {
+    redirected: u64,
+    rebalances: u64,
+    crashes: u64,
+    recoveries: u64,
+}
+
+struct WorkerOut {
+    hist: LatencyHistogram,
+    per_shard_completed: Vec<(usize, u64)>,
+}
+
+enum Out {
+    Acceptor(AcceptorOut),
+    Worker(WorkerOut),
+}
+
+/// Sleeps until `start + due`.  Sleeping (rather than spinning out the
+/// tail) deliberately trades scheduling precision for not burning the
+/// CPU: with many threads per core a spin-wait starves the *other*
+/// workers, which costs far more latency than the OS timer slack.
+fn wait_until(start: Instant, due: Duration) {
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= due {
+            return;
+        }
+        std::thread::sleep(due - elapsed);
+    }
+}
+
+fn mix_home(key: u64, n: usize) -> usize {
+    let mut x = key.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    ((x ^ (x >> 31)) % n as u64) as usize
+}
+
+struct Acceptor<'a> {
+    shared: &'a Shared,
+    params: Params,
+    l_old: Vec<u64>,
+    rng: ChaCha8Rng,
+    sink: Option<&'a SharedSink>,
+    out: AcceptorOut,
+}
+
+impl Acceptor<'_> {
+    fn n(&self) -> usize {
+        self.shared.depths.len()
+    }
+
+    fn alive(&self, s: usize) -> bool {
+        !self.shared.down[s].load(Ordering::Acquire)
+    }
+
+    fn place(&self, home: usize) -> Option<usize> {
+        let n = self.n();
+        (0..n).map(|k| (home + k) % n).find(|&s| self.alive(s))
+    }
+
+    /// Equalises `members` toward even-share targets.  Locks are taken
+    /// one queue at a time; workers may drain between the snapshot and
+    /// the moves, so targets are best-effort — but nothing is ever
+    /// lost: whatever was taken from donors is pushed somewhere.
+    fn rebalance(&mut self, members: &[usize]) {
+        let lens: Vec<u64> = members
+            .iter()
+            .map(|&m| self.shared.depths[m].load(Ordering::Acquire))
+            .collect();
+        let total: u64 = lens.iter().sum();
+        let targets = even_shares(total, members.len());
+        let mut pool: VecDeque<Request> = VecDeque::new();
+        for (&m, &target) in members.iter().zip(&targets) {
+            let mut q = self.shared.queues[m].lock().expect("queue lock");
+            while q.len() as u64 > target {
+                pool.push_front(q.pop_back().expect("len > target"));
+                self.shared.depths[m].fetch_sub(1, Ordering::Release);
+            }
+        }
+        let moved = pool.len() as u64;
+        for (&m, &target) in members.iter().zip(&targets) {
+            if pool.is_empty() {
+                break;
+            }
+            let mut q = self.shared.queues[m].lock().expect("queue lock");
+            while (q.len() as u64) < target {
+                match pool.pop_front() {
+                    Some(r) => {
+                        q.push_back(r);
+                        self.shared.depths[m].fetch_add(1, Ordering::Release);
+                    }
+                    None => break,
+                }
+            }
+        }
+        // Racing workers can leave leftovers; the initiator keeps them.
+        for r in pool {
+            self.shared.push(members[0], r);
+        }
+        for (&m, &target) in members.iter().zip(&targets) {
+            self.l_old[m] = target;
+        }
+        self.out.rebalances += 1;
+        self.out.redirected += moved;
+    }
+
+    fn maybe_trigger(&mut self, s: usize) {
+        let depth = self.shared.depths[s].load(Ordering::Acquire);
+        if !self.params.grow_triggered(depth, self.l_old[s])
+            && !self.params.shrink_triggered(depth, self.l_old[s])
+        {
+            return;
+        }
+        let mut peers: Vec<usize> = (0..self.n()).filter(|&p| p != s && self.alive(p)).collect();
+        let want = self.params.delta().min(peers.len());
+        if want == 0 {
+            self.l_old[s] = depth;
+            return;
+        }
+        for k in 0..want {
+            let j = self.rng.gen_range(k..peers.len());
+            peers.swap(k, j);
+        }
+        let mut members = Vec::with_capacity(want + 1);
+        members.push(s);
+        members.extend_from_slice(&peers[..want]);
+        self.rebalance(&members);
+    }
+
+    fn crash(&mut self, s: usize) {
+        self.shared.down[s].store(true, Ordering::Release);
+        self.out.crashes += 1;
+        let orphans: Vec<Request> = {
+            let mut q = self.shared.queues[s].lock().expect("queue lock");
+            let drained: Vec<Request> = q.drain(..).collect();
+            self.shared.depths[s].fetch_sub(drained.len() as u64, Ordering::Release);
+            drained
+        };
+        self.l_old[s] = 0;
+        let n = self.n();
+        let mut cursor = s;
+        'next: for r in orphans {
+            for _ in 0..n {
+                cursor = (cursor + 1) % n;
+                if self.alive(cursor) {
+                    self.shared.push(cursor, r);
+                    self.out.redirected += 1;
+                    continue 'next;
+                }
+            }
+            self.shared.dropped.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    fn run(
+        mut self,
+        start: Instant,
+        arrivals: &[Request],
+        timeline: &[(u64, usize, Transition)],
+        tick_us: u64,
+    ) -> AcceptorOut {
+        let tick = Duration::from_micros(tick_us);
+        let mut next_fault = 0usize;
+        for &r in arrivals {
+            // Open loop: wait out the schedule, never the service.
+            wait_until(start, tick * r.arrival as u32);
+            // Apply fault transitions due by this arrival's tick, so a
+            // request never lands on a shard that crashed before it.
+            while let Some(&(at, s, ref tr)) = timeline.get(next_fault) {
+                if at > r.arrival {
+                    break;
+                }
+                match tr {
+                    Transition::Down => self.crash(s),
+                    Transition::Up => {
+                        self.shared.down[s].store(false, Ordering::Release);
+                        self.l_old[s] = 0;
+                        self.out.recoveries += 1;
+                    }
+                }
+                next_fault += 1;
+            }
+            match self.place(mix_home(r.key, self.n())) {
+                Some(s) => {
+                    self.shared.push(s, r);
+                    if let Some(sink) = self.sink {
+                        if sink.enabled() {
+                            sink.record(&TraceEvent::RequestRouted {
+                                step: r.arrival,
+                                req: r.id,
+                                shard: s as u64,
+                            });
+                        }
+                    }
+                    self.maybe_trigger(s);
+                }
+                None => {
+                    self.shared.dropped.fetch_add(1, Ordering::Release);
+                }
+            }
+        }
+        self.shared.accepting_done.store(true, Ordering::Release);
+        self.out
+    }
+}
+
+fn worker_run(
+    w: usize,
+    workers: usize,
+    shared: &Shared,
+    start: Instant,
+    tick_us: u64,
+    sink: Option<&SharedSink>,
+) -> WorkerOut {
+    let n = shared.depths.len();
+    let my_shards: Vec<usize> = (0..n).filter(|s| s % workers == w).collect();
+    let mut hist = LatencyHistogram::new();
+    let mut completed: Vec<(usize, u64)> = my_shards.iter().map(|&s| (s, 0)).collect();
+    let tick = Duration::from_micros(tick_us);
+    loop {
+        let mut served = false;
+        for (k, &s) in my_shards.iter().enumerate() {
+            if shared.depths[s].load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let Some(r) = shared.pop(s) else { continue };
+            served = true;
+            std::thread::sleep(tick * r.service as u32);
+            let elapsed_ticks = (start.elapsed().as_micros() / tick_us as u128) as u64;
+            let latency = elapsed_ticks.saturating_sub(r.arrival);
+            hist.record(latency);
+            completed[k].1 += 1;
+            shared.completed.fetch_add(1, Ordering::Release);
+            if let Some(sink) = sink {
+                if sink.enabled() {
+                    sink.record(&TraceEvent::RequestCompleted {
+                        step: elapsed_ticks,
+                        req: r.id,
+                        shard: s as u64,
+                        latency_ticks: latency,
+                    });
+                }
+            }
+        }
+        if !served {
+            if shared.accepting_done.load(Ordering::Acquire)
+                && my_shards
+                    .iter()
+                    .all(|&s| shared.depths[s].load(Ordering::Acquire) == 0)
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    WorkerOut {
+        hist,
+        per_shard_completed: completed,
+    }
+}
+
+/// Runs the scenario against the wall clock with `workers` shard
+/// workers (plus the acceptor) and returns the report with the
+/// throughput/latency figures filled in.
+pub fn run_wall(
+    scenario: &ServiceScenario,
+    workers: usize,
+    sink: Option<SharedSink>,
+) -> Result<ServiceStats, String> {
+    scenario.validate()?;
+    let n = scenario.shards;
+    let workers = workers.clamp(1, n);
+    let params = Params::new(n, scenario.delta, scenario.f, 1).map_err(|e| e.to_string())?;
+
+    // The whole request stream is precomputed so both engines replay
+    // the same arrivals and the acceptor's hot loop does no generation.
+    let mut source = RequestSource::new(scenario.load.clone(), scenario.seed);
+    let mut arrivals = Vec::new();
+    for t in 0..scenario.ticks {
+        source.arrivals_at(t, &mut arrivals);
+    }
+    let issued = source.issued();
+
+    let mut timeline: Vec<(u64, usize, Transition)> = Vec::new();
+    for c in &scenario.faults.crashes {
+        timeline.push((c.at, c.proc, Transition::Down));
+    }
+    for c in &scenario.faults.crashes {
+        if let Some(r) = c.recover_at {
+            timeline.push((r, c.proc, Transition::Up));
+        }
+    }
+    timeline.sort_by_key(|&(at, _, _)| at); // stable: Downs before Ups on ties
+
+    let shared = Shared {
+        queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+        depths: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        accepting_done: AtomicBool::new(false),
+        completed: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+    };
+    let start = Instant::now();
+    let results: Vec<Out> = dlb_pool::par_map(workers + 1, workers + 1, |i| {
+        if i == 0 {
+            let acceptor = Acceptor {
+                shared: &shared,
+                params,
+                l_old: vec![0; n],
+                rng: ChaCha8Rng::seed_from_u64(scenario.seed ^ 0x5e_55_1d_b5),
+                sink: sink.as_ref(),
+                out: AcceptorOut::default(),
+            };
+            Out::Acceptor(acceptor.run(start, &arrivals, &timeline, scenario.tick_us))
+        } else {
+            Out::Worker(worker_run(
+                i - 1,
+                workers,
+                &shared,
+                start,
+                scenario.tick_us,
+                sink.as_ref(),
+            ))
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut latency = LatencyHistogram::new();
+    let mut per_shard_completed = vec![0u64; n];
+    let mut acceptor = AcceptorOut::default();
+    for out in results {
+        match out {
+            Out::Acceptor(a) => acceptor = a,
+            Out::Worker(w) => {
+                latency.merge(&w.hist);
+                for (s, c) in w.per_shard_completed {
+                    per_shard_completed[s] = c;
+                }
+            }
+        }
+    }
+    let completed = shared.completed.load(Ordering::Acquire);
+    let dropped = shared.dropped.load(Ordering::Acquire);
+    if completed + dropped != issued {
+        return Err(format!(
+            "conservation broken: issued {issued} != completed {completed} + dropped {dropped}"
+        ));
+    }
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    Ok(ServiceStats {
+        mode: "wall",
+        shards: n,
+        workers,
+        seed: scenario.seed,
+        ticks_run: (elapsed.as_micros() / scenario.tick_us as u128) as u64,
+        issued,
+        completed,
+        dropped,
+        in_flight: 0,
+        redirected: acceptor.redirected,
+        rebalances: acceptor.rebalances,
+        crashes: acceptor.crashes,
+        recoveries: acceptor.recoveries,
+        latency,
+        per_shard_completed,
+        wall: Some(WallTiming {
+            elapsed_ms,
+            req_per_s: if elapsed_ms > 0.0 {
+                completed as f64 / (elapsed_ms / 1e3)
+            } else {
+                0.0
+            },
+            tick_us: scenario.tick_us,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_faults::{CrashEvent, CrashMode, FaultPlan};
+    use dlb_workload::service::{RatePhase, ServiceLoad};
+
+    fn quick_scenario() -> ServiceScenario {
+        ServiceScenario {
+            shards: 4,
+            ticks: 200,
+            seed: 9,
+            delta: 2,
+            f: 2.0,
+            load: ServiceLoad {
+                phases: vec![RatePhase {
+                    ticks: 50,
+                    rate: 2.0,
+                }],
+                keys: 32,
+                zipf_s: 1.1,
+                service_ticks: (1, 2),
+            },
+            tick_us: 20, // 200 ticks · 20 µs = 4 ms of schedule
+            faults: FaultPlan {
+                crash_mode: CrashMode::Lost,
+                crashes: vec![CrashEvent {
+                    proc: 1,
+                    at: 60,
+                    recover_at: Some(140),
+                }],
+                ..FaultPlan::reliable()
+            },
+        }
+    }
+
+    #[test]
+    fn wall_run_conserves_requests_under_crash() {
+        let stats = run_wall(&quick_scenario(), 3, None).expect("run");
+        assert_eq!(stats.mode, "wall");
+        assert_eq!(stats.workers, 3);
+        assert!(stats.issued > 0);
+        // Wall-mode crashes only redistribute queued requests; nothing
+        // is dropped while at least one shard stays up.
+        assert_eq!(stats.completed, stats.issued);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.conservation_holds());
+        assert_eq!(stats.latency.count(), stats.completed);
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert!(stats.wall.is_some());
+        assert_eq!(
+            stats.per_shard_completed.iter().sum::<u64>(),
+            stats.completed
+        );
+    }
+}

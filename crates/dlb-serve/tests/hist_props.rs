@@ -1,0 +1,94 @@
+//! Properties of the latency recorder that the serving report relies
+//! on:
+//!
+//! 1. **Merge is order-independent and lossless** — per-worker
+//!    histograms folded together in *any* order equal one global
+//!    recorder fed all samples, so the report cannot depend on which
+//!    worker finished first or on how requests were sharded.
+//! 2. **Quantiles respect the bucket error bound** — any reported
+//!    quantile is within a `1/SUB_BUCKETS` relative error of the true
+//!    order statistic (exact below `SUB_BUCKETS`).
+
+use dlb_serve::hist::{LatencyHistogram, SUB_BUCKETS};
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic sample set with a heavy tail (spans many octaves).
+fn samples(seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let octave = rng.gen_range(0u32..40);
+            rng.gen_range(0..=(1u64 << octave))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_order_independent_and_equals_a_global_recorder(
+        seed in 0u64..1_000_000,
+        len in 1usize..400,
+        parts in 1usize..8,
+    ) {
+        let values = samples(seed, len);
+        let mut global = LatencyHistogram::new();
+        for &v in &values {
+            global.record(v);
+        }
+
+        // Shard round-robin over `parts` workers.
+        let mut workers = vec![LatencyHistogram::new(); parts];
+        for (i, &v) in values.iter().enumerate() {
+            workers[i % parts].record(v);
+        }
+
+        // Fold in index order…
+        let mut forward = LatencyHistogram::new();
+        for w in &workers {
+            forward.merge(w);
+        }
+        // …and in reverse order.
+        let mut backward = LatencyHistogram::new();
+        for w in workers.iter().rev() {
+            backward.merge(w);
+        }
+
+        prop_assert_eq!(&forward, &global);
+        prop_assert_eq!(&backward, &global);
+        prop_assert_eq!(forward.count(), len as u64);
+        // Derived figures agree too (they only read merged state).
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(forward.quantile(q), global.quantile(q));
+        }
+    }
+
+    #[test]
+    fn quantiles_respect_the_bucket_error_bound(
+        seed in 0u64..1_000_000,
+        len in 1usize..400,
+        q_mil in 1u64..=1000,
+    ) {
+        let q = q_mil as f64 / 1000.0;
+        let mut values = samples(seed, len);
+        let mut hist = LatencyHistogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+        let exact = values[rank - 1];
+        let got = hist.quantile(q);
+        if exact < SUB_BUCKETS {
+            prop_assert_eq!(got, exact, "small samples are bucketed exactly");
+        } else {
+            let err = got.abs_diff(exact);
+            prop_assert!(
+                err.saturating_mul(SUB_BUCKETS) <= exact,
+                "quantile {q}: got {got}, exact {exact}, relative error > 1/{SUB_BUCKETS}"
+            );
+        }
+        prop_assert!(got <= hist.max(), "quantiles never exceed the observed max");
+    }
+}

@@ -28,7 +28,10 @@ use std::sync::{Arc, Mutex};
 ///
 /// Bump on any change to tags, field names or field meaning, and record
 /// the change in DESIGN.md.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the per-request serving events (`req`, `req_done`,
+/// `redirect`); every v1 event renders byte-identically to v1.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One observable event in a simulation run.
 ///
@@ -92,6 +95,27 @@ pub enum TraceEvent {
         max: u64,
         total: u64,
     },
+    /// `dlb-serve`: a request was placed on a shard (`step` is the
+    /// arrival tick in simulated mode, elapsed ticks in wall mode).
+    RequestRouted { step: u64, req: u64, shard: u64 },
+    /// `dlb-serve`: a request finished service; `latency_ticks` is
+    /// measured from its *scheduled* arrival (open-loop, so queue delay
+    /// under overload is charged to the service, not hidden).
+    RequestCompleted {
+        step: u64,
+        req: u64,
+        shard: u64,
+        latency_ticks: u64,
+    },
+    /// `dlb-serve`: `count` queued requests moved between shards — a
+    /// trigger-rule rebalance or a crash redistribution.  The service
+    /// analogue of `PacketsMigrated`.
+    RequestsRedirected {
+        step: u64,
+        from: u64,
+        to: u64,
+        count: u64,
+    },
     /// A run finished.
     RunFinished { run: u64 },
 }
@@ -109,7 +133,10 @@ impl TraceEvent {
             | TraceEvent::CrashRecovered { step, .. }
             | TraceEvent::StepProfile { step, .. }
             | TraceEvent::StepDelta { step, .. }
-            | TraceEvent::LoadSample { step, .. } => Some(*step),
+            | TraceEvent::LoadSample { step, .. }
+            | TraceEvent::RequestRouted { step, .. }
+            | TraceEvent::RequestCompleted { step, .. }
+            | TraceEvent::RequestsRedirected { step, .. } => Some(*step),
         }
     }
 
@@ -222,6 +249,36 @@ impl ToJson for TraceEvent {
                 ("max".into(), u(*max)),
                 ("total".into(), u(*total)),
             ]),
+            TraceEvent::RequestRouted { step, req, shard } => Json::Obj(vec![
+                ("t".into(), "req".to_json()),
+                ("step".into(), u(*step)),
+                ("req".into(), u(*req)),
+                ("shard".into(), u(*shard)),
+            ]),
+            TraceEvent::RequestCompleted {
+                step,
+                req,
+                shard,
+                latency_ticks,
+            } => Json::Obj(vec![
+                ("t".into(), "req_done".to_json()),
+                ("step".into(), u(*step)),
+                ("req".into(), u(*req)),
+                ("shard".into(), u(*shard)),
+                ("latency_ticks".into(), u(*latency_ticks)),
+            ]),
+            TraceEvent::RequestsRedirected {
+                step,
+                from,
+                to,
+                count,
+            } => Json::Obj(vec![
+                ("t".into(), "redirect".to_json()),
+                ("step".into(), u(*step)),
+                ("from".into(), u(*from)),
+                ("to".into(), u(*to)),
+                ("count".into(), u(*count)),
+            ]),
             TraceEvent::RunFinished { run } => Json::Obj(vec![
                 ("t".into(), "run_end".to_json()),
                 ("run".into(), u(*run)),
@@ -293,6 +350,23 @@ impl FromJson for TraceEvent {
                 min: req(v, "min")?,
                 max: req(v, "max")?,
                 total: req(v, "total")?,
+            }),
+            "req" => Ok(TraceEvent::RequestRouted {
+                step: req(v, "step")?,
+                req: req(v, "req")?,
+                shard: req(v, "shard")?,
+            }),
+            "req_done" => Ok(TraceEvent::RequestCompleted {
+                step: req(v, "step")?,
+                req: req(v, "req")?,
+                shard: req(v, "shard")?,
+                latency_ticks: req(v, "latency_ticks")?,
+            }),
+            "redirect" => Ok(TraceEvent::RequestsRedirected {
+                step: req(v, "step")?,
+                from: req(v, "from")?,
+                to: req(v, "to")?,
+                count: req(v, "count")?,
             }),
             "run_end" => Ok(TraceEvent::RunFinished {
                 run: req(v, "run")?,
@@ -589,6 +663,23 @@ mod tests {
                 min: 0,
                 max: 31,
                 total: 512,
+            },
+            TraceEvent::RequestRouted {
+                step: 90,
+                req: 1001,
+                shard: 6,
+            },
+            TraceEvent::RequestCompleted {
+                step: 95,
+                req: 1001,
+                shard: 6,
+                latency_ticks: 5,
+            },
+            TraceEvent::RequestsRedirected {
+                step: 96,
+                from: 6,
+                to: 2,
+                count: 14,
             },
             TraceEvent::RunFinished { run: 3 },
         ]
