@@ -4,7 +4,7 @@
 //! dlb demo [options]                  run the built-in §7 demo scenario
 //! dlb run <scenario.json> [options]   run a scenario from a JSON file
 //! dlb template                        print a scenario template to stdout
-//! dlb serve <scenario.json> [--mode sim|wall] [--workers N]
+//! dlb serve <scenario.json> [--mode sim|wall] [--workers N] [--acceptors A]
 //!                                     run the request-routing service
 //!                                     (see src/serve.rs for options)
 //!

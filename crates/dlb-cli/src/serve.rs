@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! dlb serve <scenario.json> [--mode sim|wall] [--workers N]
-//!           [--out <path>] [--trace <path>]
+//!           [--acceptors A] [--out <path>] [--trace <path>]
 //! ```
 //!
 //! `sim` (the default) runs the single-threaded simulated-clock engine:
 //! the stats JSON is byte-identical across repeated runs *and* across
-//! `--workers` values for a fixed seed, which is what CI golden-gates.
-//! `wall` runs the acceptor + worker threads against the real clock and
-//! adds the throughput block (`BENCH_service.json` numbers).
+//! `--workers`/`--acceptors` values for a fixed seed, which is what CI
+//! golden-gates.  `wall` runs `A` sharded acceptors + `N` workers
+//! against the real clock and adds the throughput block
+//! (`BENCH_service.json` numbers); `--acceptors` overrides the
+//! scenario's `acceptors` key (default 1).
 //!
 //! The process exits non-zero if the conservation ledger breaks.
 
@@ -24,11 +26,13 @@ enum Mode {
 }
 
 pub const SERVE_USAGE: &str = "usage: dlb serve <scenario.json> [--mode sim|wall] \
-                               [--workers N] [--out <path>] [--trace <path>]";
+                               [--workers N] [--acceptors A] [--out <path>] [--trace <path>]";
 
 struct ServeOptions {
     mode: Mode,
     workers: usize,
+    /// `None` defers to the scenario's `acceptors` key.
+    acceptors: Option<usize>,
     out: Option<String>,
     trace: Option<String>,
 }
@@ -36,8 +40,9 @@ struct ServeOptions {
 fn parse_serve_options(rest: &[String]) -> Result<ServeOptions, String> {
     let mut opts = ServeOptions {
         mode: Mode::Sim,
-        // Leave a core for the acceptor; the sim engine ignores this.
+        // Leave a core for the acceptor(s); the sim engine ignores this.
         workers: dlb_pool::default_jobs().saturating_sub(1).max(1),
+        acceptors: None,
         out: None,
         trace: None,
     };
@@ -61,6 +66,16 @@ fn parse_serve_options(rest: &[String]) -> Result<ServeOptions, String> {
                     return Err("--workers must be at least 1".into());
                 }
                 opts.workers = parsed;
+            }
+            "--acceptors" => {
+                let raw = iter.next().ok_or("--acceptors needs a thread count")?;
+                let parsed: usize = raw
+                    .parse()
+                    .map_err(|e| format!("invalid --acceptors {raw:?}: {e}"))?;
+                if parsed == 0 {
+                    return Err("--acceptors must be at least 1".into());
+                }
+                opts.acceptors = Some(parsed);
             }
             "--out" => {
                 opts.out = Some(iter.next().ok_or("--out needs a path")?.clone());
@@ -93,7 +108,10 @@ pub fn serve_main(rest: &[String]) -> Result<(), String> {
     };
     let stats = match opts.mode {
         Mode::Sim => dlb_serve::run_sim(&scenario, sink)?,
-        Mode::Wall => dlb_serve::run_wall(&scenario, opts.workers, sink)?,
+        Mode::Wall => {
+            let acceptors = opts.acceptors.unwrap_or(scenario.acceptors);
+            dlb_serve::run_wall(&scenario, opts.workers, acceptors, sink)?
+        }
     };
     // Both engines verify the ledger internally (and error out on a
     // violation), so reaching this point means conservation held.
@@ -122,15 +140,24 @@ mod tests {
             "wall",
             "--workers",
             "3",
+            "--acceptors",
+            "2",
             "--out",
             "x.json",
         ]))
         .unwrap();
         assert_eq!(opts.mode, Mode::Wall);
         assert_eq!(opts.workers, 3);
+        assert_eq!(opts.acceptors, Some(2));
         assert_eq!(opts.out.as_deref(), Some("x.json"));
+        let defaulted = parse_serve_options(&[]).unwrap();
+        assert_eq!(
+            defaulted.acceptors, None,
+            "absent --acceptors defers to the scenario key"
+        );
         assert!(parse_serve_options(&strings(&["--mode", "turbo"])).is_err());
         assert!(parse_serve_options(&strings(&["--workers", "0"])).is_err());
+        assert!(parse_serve_options(&strings(&["--acceptors", "0"])).is_err());
         assert!(parse_serve_options(&strings(&["--bogus"])).is_err());
     }
 

@@ -218,6 +218,7 @@ pub fn analyze(events: &[TraceEvent]) -> Vec<RunAnalysis> {
             | TraceEvent::RequestRouted { .. }
             | TraceEvent::RequestCompleted { .. }
             | TraceEvent::RequestsRedirected { .. }
+            | TraceEvent::AcceptorHandoff { .. }
             | TraceEvent::RunFinished { .. } => {}
             TraceEvent::RunStarted { .. } => unreachable!("handled above"),
         }

@@ -19,17 +19,23 @@
 //!   a fixed seed (and trivially independent of `--workers`), with the
 //!   conservation ledger `issued == completed + dropped + in_flight`
 //!   checked every tick.
-//! - [`wall::run_wall`] — the wall-clock engine (acceptor + `W` shard
-//!   workers on `dlb-pool`) producing the throughput and latency
-//!   figures committed as `BENCH_service.json`.
+//! - [`wall::run_wall`] — the wall-clock engine (`A` sharded acceptors
+//!   plus `W` shard workers on `dlb-pool`, wired with the lock-free
+//!   [`ring`] primitives) producing the throughput and latency figures
+//!   committed as `BENCH_service.json`; each acceptor owns a contiguous
+//!   shard group with its own trigger state, the paper's distributed
+//!   triggers partitioned (see the `acceptor` module).
 //! - [`stats::ServiceStats`] — the byte-stable report both engines
 //!   emit, rendered through `dlb-json`.
 //!
 //! Crash/rejoin plans from `dlb-faults` compose with both engines, and
-//! per-request trace events (`req`, `req_done`, `redirect`; schema v2)
-//! flow through `dlb-trace`'s cached-enabled-flag [`dlb_trace::SharedSink`].
+//! per-request trace events (`req`, `req_done`, `redirect`, plus wall
+//! mode's `handoff`; schema v3) flow through `dlb-trace`'s
+//! cached-enabled-flag [`dlb_trace::SharedSink`].
 
+mod acceptor;
 pub mod hist;
+pub mod ring;
 pub mod router;
 pub mod scenario;
 pub mod sim;
@@ -37,8 +43,24 @@ pub mod stats;
 pub mod wall;
 
 pub use hist::LatencyHistogram;
+pub use ring::{MpscRing, SpscRing};
 pub use router::{RebalancePlan, TriggerRouter};
 pub use scenario::ServiceScenario;
 pub use sim::run_sim;
 pub use stats::{ServiceStats, WallTiming};
 pub use wall::run_wall;
+
+/// Sticky key → home shard placement: one SplitMix64 finalisation
+/// round, reduced mod `shards`.
+///
+/// This is *the* placement hash for both engines — the simulated
+/// router and the wall acceptors call it, so a key's home can never
+/// drift between sim and wall mode (PR 6 kept two private copies,
+/// `router::mix` and `wall::mix_home`, which this function replaces).
+pub fn home_shard(key: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((x ^ (x >> 31)) % shards as u64) as usize
+}

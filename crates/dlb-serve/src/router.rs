@@ -29,16 +29,6 @@ pub struct RebalancePlan {
     pub targets: Vec<u64>,
 }
 
-/// SplitMix64 finaliser — maps a key to a pseudo-random home shard so
-/// that a hot key concentrates on *one* shard (skew the trigger rule
-/// must repair) instead of being smeared by a modulo.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-    x ^ (x >> 31)
-}
-
 /// Deterministic trigger-rule placement state (simulated-clock engine).
 pub struct TriggerRouter {
     params: Params,
@@ -88,9 +78,11 @@ impl TriggerRouter {
         self.rebalances
     }
 
-    /// The key's home shard, ignoring liveness.
+    /// The key's home shard, ignoring liveness.  Delegates to the
+    /// crate-level [`crate::home_shard`] so sim and wall placement can
+    /// never drift.
     pub fn home_shard(&self, key: u64) -> usize {
-        (mix(key) % self.depths.len() as u64) as usize
+        crate::home_shard(key, self.depths.len())
     }
 
     /// Placement shard for `key`: the home shard, or the next alive

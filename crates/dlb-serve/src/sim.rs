@@ -324,6 +324,7 @@ pub fn run_sim(
         mode: "sim",
         shards: n,
         workers: 1,
+        acceptors: 1,
         seed: scenario.seed,
         ticks_run: now,
         issued: source.issued(),
@@ -334,6 +335,8 @@ pub fn run_sim(
         rebalances: engine.router.rebalances(),
         crashes: engine.crashes,
         recoveries: engine.recoveries,
+        handoffs: 0,
+        per_acceptor_rebalances: vec![],
         latency,
         per_shard_completed: engine.per_shard_completed,
         wall: None,
@@ -371,6 +374,7 @@ mod tests {
                 service_ticks: (1, 3),
             },
             tick_us: 50,
+            acceptors: 1,
             faults: FaultPlan::reliable(),
         }
     }

@@ -1,5 +1,5 @@
-//! The wall-clock serving engine: a real acceptor thread plus `W`
-//! shard workers, all hosted on the `dlb-pool` worker pool.
+//! The wall-clock serving engine: `A` sharded acceptors plus `W` shard
+//! workers, all hosted on the `dlb-pool` worker pool.
 //!
 //! This mode exists to produce *bench numbers* (`BENCH_service.json`):
 //! sustained requests/sec and latency quantiles under the same request
@@ -9,77 +9,97 @@
 //! still holds exactly: every generated request is completed or
 //! (all-shards-down only) dropped.
 //!
-//! Division of labour keeps the locking one-queue-at-a-time and
-//! deadlock-free:
-//! - the **acceptor** (pool index 0) replays the precomputed arrival
-//!   schedule against the wall clock, places requests, runs the trigger
-//!   checks and performs all inter-queue moves (rebalances and crash
-//!   redistribution);
-//! - each **worker** drains the queues of its shards (`shard % W ==
-//!   worker`), sleeps out the service demand, and records latency into
-//!   its own histogram; the per-worker histograms are merged in index
-//!   order at the end (merging is order-independent, see `hist`).
+//! Division of labour is lock-free end to end (see [`crate::ring`]):
+//!
+//! - each **acceptor** (pool indices `0..A`) owns a contiguous shard
+//!   group — private backlogs, private `l_old` trigger baselines, a
+//!   private ChaCha partner stream — and replays its slice of the
+//!   precomputed arrival schedule and fault timeline against the wall
+//!   clock; cross-group moves ride MPSC inbox messages (see
+//!   [`crate::acceptor`]);
+//! - each **worker** (pool indices `A..A+W`) drains the SPSC work
+//!   rings of its shards (`shard % W == worker`), sleeps out the
+//!   service demand, and records latency into its own histogram; the
+//!   per-worker histograms are merged in index order at the end
+//!   (merging is order-independent, see `hist`).
 //!
 //! Crash composition differs from the simulated engine in one honest
-//! way: a request already being served when its shard crashes cannot be
-//! yanked out of an OS thread, so wall mode lets it complete regardless
-//! of the crash mode (queued requests are redistributed exactly as in
-//! sim mode).
+//! way: a request already handed to a worker (in its shard's work ring
+//! or in service) when the shard crashes cannot be yanked out of an OS
+//! thread, so wall mode lets it complete regardless of the crash mode;
+//! the owner's backlog is redistributed exactly as in sim mode.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use dlb_core::balance::even_shares;
 use dlb_core::Params;
 use dlb_trace::{SharedSink, TraceEvent};
 use dlb_workload::service::{Request, RequestSource};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 
+use crate::acceptor::{Acceptor, AcceptorOut, Msg, Transition};
 use crate::hist::LatencyHistogram;
+use crate::home_shard;
+use crate::ring::{MpscRing, SpscRing};
 use crate::scenario::ServiceScenario;
 use crate::stats::{ServiceStats, WallTiming};
 
-struct Shared {
-    queues: Vec<Mutex<VecDeque<Request>>>,
-    /// Queue lens mirrored outside the locks so workers can scan for
-    /// work and the acceptor can run trigger checks without contending.
-    depths: Vec<AtomicU64>,
-    down: Vec<AtomicBool>,
-    accepting_done: AtomicBool,
-    completed: AtomicU64,
-    dropped: AtomicU64,
+/// Per-shard SPSC work-ring capacity.  Small on purpose: the backlog
+/// behind it is unbounded and owner-private, so the ring only needs to
+/// keep a worker fed between acceptor passes, and a small ring bounds
+/// how much work a crashed shard's worker can still complete.
+const WORK_RING_CAP: usize = 128;
+
+/// Per-acceptor MPSC inbox capacity.  Senders never block on a full
+/// inbox — they park the message locally and retry — so this only
+/// sizes the fast path.
+const INBOX_CAP: usize = 1024;
+
+/// Everything the acceptors and workers share.  No locks: SPSC rings
+/// carry owned-shard work, MPSC rings carry cross-group messages, and
+/// the scalars are atomics.
+pub(crate) struct Shared {
+    /// One SPSC work ring per shard: producer = owning acceptor,
+    /// consumer = the worker with `shard % workers == worker`.
+    pub(crate) work: Vec<SpscRing<Request>>,
+    /// One MPSC inbox per acceptor for cross-group handoffs.
+    pub(crate) inboxes: Vec<MpscRing<Msg>>,
+    /// `owner[s]` = the acceptor owning shard `s`.
+    pub(crate) owner: Vec<usize>,
+    /// Acceptor count (shard groups are contiguous, see [`Shared::group`]).
+    pub(crate) acceptors: usize,
+    /// Queue depths (backlog + work ring) mirrored outside the queues
+    /// so any acceptor can run trigger checks over any shard.
+    pub(crate) depths: Vec<AtomicU64>,
+    pub(crate) down: Vec<AtomicBool>,
+    /// Acceptors still replaying arrivals/faults (termination protocol).
+    pub(crate) producing: AtomicUsize,
+    /// Acceptors still running at all (workers drain until this is 0).
+    pub(crate) accepting: AtomicUsize,
+    /// Messages sent but not yet fully processed, counted up *before*
+    /// each send and down only *after* processing (cascades included).
+    pub(crate) msgs_in_flight: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) dropped: AtomicU64,
 }
 
 impl Shared {
-    fn push(&self, s: usize, r: Request) {
-        self.queues[s].lock().expect("queue lock").push_back(r);
-        self.depths[s].fetch_add(1, Ordering::Release);
-    }
-
-    fn pop(&self, s: usize) -> Option<Request> {
-        let mut q = self.queues[s].lock().expect("queue lock");
-        let r = q.pop_front();
-        if r.is_some() {
-            self.depths[s].fetch_sub(1, Ordering::Release);
-        }
-        r
+    /// Acceptor `a`'s contiguous shard group `[a·n/A, (a+1)·n/A)`.
+    pub(crate) fn group(&self, a: usize) -> (usize, usize) {
+        let n = self.owner.len();
+        (a * n / self.acceptors, (a + 1) * n / self.acceptors)
     }
 }
 
-enum Transition {
-    Down,
-    Up,
-}
-
-#[derive(Default)]
-struct AcceptorOut {
-    redirected: u64,
-    rebalances: u64,
-    crashes: u64,
-    recoveries: u64,
+/// Wall-clock duration of `ticks` ticks of `tick_us` microseconds
+/// each.
+///
+/// PR 6 computed these as `Duration::from_micros(tick_us) * (ticks as
+/// u32)` — a silent `u64 → u32` truncation for any tick past 2^32 (and
+/// a potential `Duration * u32` overflow panic before that).
+/// Multiplying in µs-space with saturation is exact for every
+/// representable schedule (saturation kicks in past ~584k years).
+pub(crate) fn ticks_to_duration(tick_us: u64, ticks: u64) -> Duration {
+    Duration::from_micros(tick_us.saturating_mul(ticks))
 }
 
 struct WorkerOut {
@@ -92,196 +112,6 @@ enum Out {
     Worker(WorkerOut),
 }
 
-/// Sleeps until `start + due`.  Sleeping (rather than spinning out the
-/// tail) deliberately trades scheduling precision for not burning the
-/// CPU: with many threads per core a spin-wait starves the *other*
-/// workers, which costs far more latency than the OS timer slack.
-fn wait_until(start: Instant, due: Duration) {
-    loop {
-        let elapsed = start.elapsed();
-        if elapsed >= due {
-            return;
-        }
-        std::thread::sleep(due - elapsed);
-    }
-}
-
-fn mix_home(key: u64, n: usize) -> usize {
-    let mut x = key.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-    ((x ^ (x >> 31)) % n as u64) as usize
-}
-
-struct Acceptor<'a> {
-    shared: &'a Shared,
-    params: Params,
-    l_old: Vec<u64>,
-    rng: ChaCha8Rng,
-    sink: Option<&'a SharedSink>,
-    out: AcceptorOut,
-}
-
-impl Acceptor<'_> {
-    fn n(&self) -> usize {
-        self.shared.depths.len()
-    }
-
-    fn alive(&self, s: usize) -> bool {
-        !self.shared.down[s].load(Ordering::Acquire)
-    }
-
-    fn place(&self, home: usize) -> Option<usize> {
-        let n = self.n();
-        (0..n).map(|k| (home + k) % n).find(|&s| self.alive(s))
-    }
-
-    /// Equalises `members` toward even-share targets.  Locks are taken
-    /// one queue at a time; workers may drain between the snapshot and
-    /// the moves, so targets are best-effort — but nothing is ever
-    /// lost: whatever was taken from donors is pushed somewhere.
-    fn rebalance(&mut self, members: &[usize]) {
-        let lens: Vec<u64> = members
-            .iter()
-            .map(|&m| self.shared.depths[m].load(Ordering::Acquire))
-            .collect();
-        let total: u64 = lens.iter().sum();
-        let targets = even_shares(total, members.len());
-        let mut pool: VecDeque<Request> = VecDeque::new();
-        for (&m, &target) in members.iter().zip(&targets) {
-            let mut q = self.shared.queues[m].lock().expect("queue lock");
-            while q.len() as u64 > target {
-                pool.push_front(q.pop_back().expect("len > target"));
-                self.shared.depths[m].fetch_sub(1, Ordering::Release);
-            }
-        }
-        let moved = pool.len() as u64;
-        for (&m, &target) in members.iter().zip(&targets) {
-            if pool.is_empty() {
-                break;
-            }
-            let mut q = self.shared.queues[m].lock().expect("queue lock");
-            while (q.len() as u64) < target {
-                match pool.pop_front() {
-                    Some(r) => {
-                        q.push_back(r);
-                        self.shared.depths[m].fetch_add(1, Ordering::Release);
-                    }
-                    None => break,
-                }
-            }
-        }
-        // Racing workers can leave leftovers; the initiator keeps them.
-        for r in pool {
-            self.shared.push(members[0], r);
-        }
-        for (&m, &target) in members.iter().zip(&targets) {
-            self.l_old[m] = target;
-        }
-        self.out.rebalances += 1;
-        self.out.redirected += moved;
-    }
-
-    fn maybe_trigger(&mut self, s: usize) {
-        let depth = self.shared.depths[s].load(Ordering::Acquire);
-        if !self.params.grow_triggered(depth, self.l_old[s])
-            && !self.params.shrink_triggered(depth, self.l_old[s])
-        {
-            return;
-        }
-        let mut peers: Vec<usize> = (0..self.n()).filter(|&p| p != s && self.alive(p)).collect();
-        let want = self.params.delta().min(peers.len());
-        if want == 0 {
-            self.l_old[s] = depth;
-            return;
-        }
-        for k in 0..want {
-            let j = self.rng.gen_range(k..peers.len());
-            peers.swap(k, j);
-        }
-        let mut members = Vec::with_capacity(want + 1);
-        members.push(s);
-        members.extend_from_slice(&peers[..want]);
-        self.rebalance(&members);
-    }
-
-    fn crash(&mut self, s: usize) {
-        self.shared.down[s].store(true, Ordering::Release);
-        self.out.crashes += 1;
-        let orphans: Vec<Request> = {
-            let mut q = self.shared.queues[s].lock().expect("queue lock");
-            let drained: Vec<Request> = q.drain(..).collect();
-            self.shared.depths[s].fetch_sub(drained.len() as u64, Ordering::Release);
-            drained
-        };
-        self.l_old[s] = 0;
-        let n = self.n();
-        let mut cursor = s;
-        'next: for r in orphans {
-            for _ in 0..n {
-                cursor = (cursor + 1) % n;
-                if self.alive(cursor) {
-                    self.shared.push(cursor, r);
-                    self.out.redirected += 1;
-                    continue 'next;
-                }
-            }
-            self.shared.dropped.fetch_add(1, Ordering::Release);
-        }
-    }
-
-    fn run(
-        mut self,
-        start: Instant,
-        arrivals: &[Request],
-        timeline: &[(u64, usize, Transition)],
-        tick_us: u64,
-    ) -> AcceptorOut {
-        let tick = Duration::from_micros(tick_us);
-        let mut next_fault = 0usize;
-        for &r in arrivals {
-            // Open loop: wait out the schedule, never the service.
-            wait_until(start, tick * r.arrival as u32);
-            // Apply fault transitions due by this arrival's tick, so a
-            // request never lands on a shard that crashed before it.
-            while let Some(&(at, s, ref tr)) = timeline.get(next_fault) {
-                if at > r.arrival {
-                    break;
-                }
-                match tr {
-                    Transition::Down => self.crash(s),
-                    Transition::Up => {
-                        self.shared.down[s].store(false, Ordering::Release);
-                        self.l_old[s] = 0;
-                        self.out.recoveries += 1;
-                    }
-                }
-                next_fault += 1;
-            }
-            match self.place(mix_home(r.key, self.n())) {
-                Some(s) => {
-                    self.shared.push(s, r);
-                    if let Some(sink) = self.sink {
-                        if sink.enabled() {
-                            sink.record(&TraceEvent::RequestRouted {
-                                step: r.arrival,
-                                req: r.id,
-                                shard: s as u64,
-                            });
-                        }
-                    }
-                    self.maybe_trigger(s);
-                }
-                None => {
-                    self.shared.dropped.fetch_add(1, Ordering::Release);
-                }
-            }
-        }
-        self.shared.accepting_done.store(true, Ordering::Release);
-        self.out
-    }
-}
-
 fn worker_run(
     w: usize,
     workers: usize,
@@ -290,20 +120,19 @@ fn worker_run(
     tick_us: u64,
     sink: Option<&SharedSink>,
 ) -> WorkerOut {
-    let n = shared.depths.len();
+    let n = shared.work.len();
     let my_shards: Vec<usize> = (0..n).filter(|s| s % workers == w).collect();
     let mut hist = LatencyHistogram::new();
     let mut completed: Vec<(usize, u64)> = my_shards.iter().map(|&s| (s, 0)).collect();
-    let tick = Duration::from_micros(tick_us);
     loop {
         let mut served = false;
         for (k, &s) in my_shards.iter().enumerate() {
-            if shared.depths[s].load(Ordering::Acquire) == 0 {
+            let Some(r) = shared.work[s].pop() else {
                 continue;
-            }
-            let Some(r) = shared.pop(s) else { continue };
+            };
+            shared.depths[s].fetch_sub(1, Ordering::Release);
             served = true;
-            std::thread::sleep(tick * r.service as u32);
+            std::thread::sleep(ticks_to_duration(tick_us, r.service));
             let elapsed_ticks = (start.elapsed().as_micros() / tick_us as u128) as u64;
             let latency = elapsed_ticks.saturating_sub(r.arrival);
             hist.record(latency);
@@ -321,10 +150,11 @@ fn worker_run(
             }
         }
         if !served {
-            if shared.accepting_done.load(Ordering::Acquire)
-                && my_shards
-                    .iter()
-                    .all(|&s| shared.depths[s].load(Ordering::Acquire) == 0)
+            // Acceptors keep feeding the rings from their backlogs
+            // until everything drained, so "all acceptors exited and my
+            // rings are empty" is a sound exit condition.
+            if shared.accepting.load(Ordering::Acquire) == 0
+                && my_shards.iter().all(|&s| shared.work[s].is_empty())
             {
                 break;
             }
@@ -337,62 +167,95 @@ fn worker_run(
     }
 }
 
-/// Runs the scenario against the wall clock with `workers` shard
-/// workers (plus the acceptor) and returns the report with the
-/// throughput/latency figures filled in.
+/// Runs the scenario against the wall clock with `acceptors` sharded
+/// acceptor threads and `workers` shard workers, and returns the report
+/// with the throughput/latency figures filled in.
 pub fn run_wall(
     scenario: &ServiceScenario,
     workers: usize,
+    acceptors: usize,
     sink: Option<SharedSink>,
 ) -> Result<ServiceStats, String> {
     scenario.validate()?;
     let n = scenario.shards;
     let workers = workers.clamp(1, n);
+    let acceptors = acceptors.clamp(1, n);
     let params = Params::new(n, scenario.delta, scenario.f, 1).map_err(|e| e.to_string())?;
 
+    let mut owner = vec![0usize; n];
+    for a in 0..acceptors {
+        for o in owner
+            .iter_mut()
+            .take((a + 1) * n / acceptors)
+            .skip(a * n / acceptors)
+        {
+            *o = a;
+        }
+    }
+
     // The whole request stream is precomputed so both engines replay
-    // the same arrivals and the acceptor's hot loop does no generation.
+    // the same arrivals and the acceptors' hot loops do no generation;
+    // each acceptor gets the requests whose *home* shard it owns.
     let mut source = RequestSource::new(scenario.load.clone(), scenario.seed);
-    let mut arrivals = Vec::new();
+    let mut all = Vec::new();
     for t in 0..scenario.ticks {
-        source.arrivals_at(t, &mut arrivals);
+        source.arrivals_at(t, &mut all);
     }
     let issued = source.issued();
+    let mut arrivals: Vec<Vec<Request>> = vec![Vec::new(); acceptors];
+    for &r in &all {
+        arrivals[owner[home_shard(r.key, n)]].push(r);
+    }
 
-    let mut timeline: Vec<(u64, usize, Transition)> = Vec::new();
+    // Fault timelines, partitioned by the crashed shard's owner; the
+    // stable sort keeps Downs before Ups on ties, like the sim engine.
+    let mut timelines: Vec<Vec<(u64, usize, Transition)>> = vec![Vec::new(); acceptors];
     for c in &scenario.faults.crashes {
-        timeline.push((c.at, c.proc, Transition::Down));
+        timelines[owner[c.proc]].push((c.at, c.proc, Transition::Down));
     }
     for c in &scenario.faults.crashes {
         if let Some(r) = c.recover_at {
-            timeline.push((r, c.proc, Transition::Up));
+            timelines[owner[c.proc]].push((r, c.proc, Transition::Up));
         }
     }
-    timeline.sort_by_key(|&(at, _, _)| at); // stable: Downs before Ups on ties
+    for tl in &mut timelines {
+        tl.sort_by_key(|&(at, _, _)| at);
+    }
 
     let shared = Shared {
-        queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+        work: (0..n)
+            .map(|_| SpscRing::with_capacity(WORK_RING_CAP))
+            .collect(),
+        inboxes: (0..acceptors)
+            .map(|_| MpscRing::with_capacity(INBOX_CAP))
+            .collect(),
+        owner,
+        acceptors,
         depths: (0..n).map(|_| AtomicU64::new(0)).collect(),
         down: (0..n).map(|_| AtomicBool::new(false)).collect(),
-        accepting_done: AtomicBool::new(false),
+        producing: AtomicUsize::new(acceptors),
+        accepting: AtomicUsize::new(acceptors),
+        msgs_in_flight: AtomicU64::new(0),
         completed: AtomicU64::new(0),
         dropped: AtomicU64::new(0),
     };
     let start = Instant::now();
-    let results: Vec<Out> = dlb_pool::par_map(workers + 1, workers + 1, |i| {
-        if i == 0 {
-            let acceptor = Acceptor {
-                shared: &shared,
+    let jobs = acceptors + workers;
+    let results: Vec<Out> = dlb_pool::par_map(jobs, jobs, |i| {
+        if i < acceptors {
+            let acceptor = Acceptor::new(
+                i,
+                &shared,
                 params,
-                l_old: vec![0; n],
-                rng: ChaCha8Rng::seed_from_u64(scenario.seed ^ 0x5e_55_1d_b5),
-                sink: sink.as_ref(),
-                out: AcceptorOut::default(),
-            };
-            Out::Acceptor(acceptor.run(start, &arrivals, &timeline, scenario.tick_us))
+                scenario.seed,
+                sink.as_ref(),
+                start,
+                scenario.tick_us,
+            );
+            Out::Acceptor(acceptor.run(&arrivals[i], &timelines[i]))
         } else {
             Out::Worker(worker_run(
-                i - 1,
+                i - acceptors,
                 workers,
                 &shared,
                 start,
@@ -405,10 +268,18 @@ pub fn run_wall(
 
     let mut latency = LatencyHistogram::new();
     let mut per_shard_completed = vec![0u64; n];
-    let mut acceptor = AcceptorOut::default();
-    for out in results {
+    let mut per_acceptor_rebalances = vec![0u64; acceptors];
+    let mut totals = AcceptorOut::default();
+    for (i, out) in results.into_iter().enumerate() {
         match out {
-            Out::Acceptor(a) => acceptor = a,
+            Out::Acceptor(a) => {
+                per_acceptor_rebalances[i] = a.rebalances;
+                totals.rebalances += a.rebalances;
+                totals.redirected += a.redirected;
+                totals.crashes += a.crashes;
+                totals.recoveries += a.recoveries;
+                totals.handoffs += a.handoffs;
+            }
             Out::Worker(w) => {
                 latency.merge(&w.hist);
                 for (s, c) in w.per_shard_completed {
@@ -424,6 +295,12 @@ pub fn run_wall(
             "conservation broken: issued {issued} != completed {completed} + dropped {dropped}"
         ));
     }
+    if shared.work.iter().any(|r| !r.is_empty())
+        || shared.inboxes.iter().any(|r| !r.is_empty())
+        || shared.msgs_in_flight.load(Ordering::Acquire) != 0
+    {
+        return Err("sharded engine exited with undrained rings or messages in flight".into());
+    }
     if let Some(sink) = &sink {
         sink.flush();
     }
@@ -432,16 +309,19 @@ pub fn run_wall(
         mode: "wall",
         shards: n,
         workers,
+        acceptors,
         seed: scenario.seed,
         ticks_run: (elapsed.as_micros() / scenario.tick_us as u128) as u64,
         issued,
         completed,
         dropped,
         in_flight: 0,
-        redirected: acceptor.redirected,
-        rebalances: acceptor.rebalances,
-        crashes: acceptor.crashes,
-        recoveries: acceptor.recoveries,
+        redirected: totals.redirected,
+        rebalances: totals.rebalances,
+        crashes: totals.crashes,
+        recoveries: totals.recoveries,
+        handoffs: totals.handoffs,
+        per_acceptor_rebalances,
         latency,
         per_shard_completed,
         wall: Some(WallTiming {
@@ -469,6 +349,7 @@ mod tests {
             seed: 9,
             delta: 2,
             f: 2.0,
+            acceptors: 1,
             load: ServiceLoad {
                 phases: vec![RatePhase {
                     ticks: 50,
@@ -493,9 +374,10 @@ mod tests {
 
     #[test]
     fn wall_run_conserves_requests_under_crash() {
-        let stats = run_wall(&quick_scenario(), 3, None).expect("run");
+        let stats = run_wall(&quick_scenario(), 3, 1, None).expect("run");
         assert_eq!(stats.mode, "wall");
         assert_eq!(stats.workers, 3);
+        assert_eq!(stats.acceptors, 1);
         assert!(stats.issued > 0);
         // Wall-mode crashes only redistribute queued requests; nothing
         // is dropped while at least one shard stays up.
@@ -510,5 +392,69 @@ mod tests {
             stats.per_shard_completed.iter().sum::<u64>(),
             stats.completed
         );
+    }
+
+    #[test]
+    fn wall_run_conserves_with_sharded_acceptors() {
+        let stats = run_wall(&quick_scenario(), 2, 2, None).expect("run");
+        assert_eq!(stats.acceptors, 2);
+        assert_eq!(stats.per_acceptor_rebalances.len(), 2);
+        assert_eq!(
+            stats.per_acceptor_rebalances.iter().sum::<u64>(),
+            stats.rebalances
+        );
+        assert_eq!(stats.completed, stats.issued);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.conservation_holds());
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+    }
+
+    #[test]
+    fn tick_durations_do_not_truncate_past_u32() {
+        // The PR 6 bug: `Duration::from_micros(20) * (tick as u32)`
+        // silently wrapped for ticks past 2^32.  An arrival scheduled
+        // at tick u32::MAX + 2 must map to a strictly later deadline
+        // than one at u32::MAX + 1.
+        let big = u32::MAX as u64 + 1;
+        assert_eq!(
+            ticks_to_duration(20, big),
+            Duration::from_micros(20 * (u32::MAX as u64 + 1))
+        );
+        assert!(ticks_to_duration(20, big + 1) > ticks_to_duration(20, big));
+        // The old expression wrapped to zero here.
+        assert_eq!(
+            ticks_to_duration(20, big).as_micros() as u64 / 20,
+            big,
+            "no truncation at 2^32 ticks"
+        );
+        // Saturation instead of panic at the extreme.
+        assert_eq!(
+            ticks_to_duration(u64::MAX, 2),
+            Duration::from_micros(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn late_fault_transitions_still_fire() {
+        // PR 6 drained the fault timeline only while placing arrivals,
+        // so a recovery scheduled after the last arrival's tick never
+        // fired and `recoveries` disagreed with the scenario.  Recovery
+        // at tick 180 is well past the last arrival (phase ends at
+        // tick 50).
+        let mut scenario = quick_scenario();
+        scenario.faults.crashes = vec![CrashEvent {
+            proc: 2,
+            at: 100,
+            recover_at: Some(180),
+        }];
+        let stats = run_wall(&scenario, 2, 2, None).expect("run");
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(
+            stats.recoveries, 1,
+            "recovery past the last arrival must still fire"
+        );
+        assert!(stats.conservation_holds());
+        assert_eq!(stats.completed, stats.issued);
     }
 }

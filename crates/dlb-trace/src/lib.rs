@@ -31,7 +31,11 @@ use std::sync::{Arc, Mutex};
 ///
 /// v2 added the per-request serving events (`req`, `req_done`,
 /// `redirect`); every v1 event renders byte-identically to v1.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `handoff` (`AcceptorHandoff`): a sharded wall-mode acceptor
+/// sent a rebalance donation plan to a peer acceptor's inbox; every v2
+/// event renders byte-identically to v2.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One observable event in a simulation run.
 ///
@@ -116,6 +120,17 @@ pub enum TraceEvent {
         to: u64,
         count: u64,
     },
+    /// `dlb-serve` wall mode: acceptor `from` handed acceptor `to` a
+    /// rebalance donation plan covering `count` queued requests (0 for
+    /// a pure trigger-baseline reset).  Deliveries are traced at their
+    /// landing as `req`/`redirect`; this event makes the cross-group
+    /// control flow itself observable.
+    AcceptorHandoff {
+        step: u64,
+        from: u64,
+        to: u64,
+        count: u64,
+    },
     /// A run finished.
     RunFinished { run: u64 },
 }
@@ -136,7 +151,8 @@ impl TraceEvent {
             | TraceEvent::LoadSample { step, .. }
             | TraceEvent::RequestRouted { step, .. }
             | TraceEvent::RequestCompleted { step, .. }
-            | TraceEvent::RequestsRedirected { step, .. } => Some(*step),
+            | TraceEvent::RequestsRedirected { step, .. }
+            | TraceEvent::AcceptorHandoff { step, .. } => Some(*step),
         }
     }
 
@@ -279,6 +295,18 @@ impl ToJson for TraceEvent {
                 ("to".into(), u(*to)),
                 ("count".into(), u(*count)),
             ]),
+            TraceEvent::AcceptorHandoff {
+                step,
+                from,
+                to,
+                count,
+            } => Json::Obj(vec![
+                ("t".into(), "handoff".to_json()),
+                ("step".into(), u(*step)),
+                ("from".into(), u(*from)),
+                ("to".into(), u(*to)),
+                ("count".into(), u(*count)),
+            ]),
             TraceEvent::RunFinished { run } => Json::Obj(vec![
                 ("t".into(), "run_end".to_json()),
                 ("run".into(), u(*run)),
@@ -363,6 +391,12 @@ impl FromJson for TraceEvent {
                 latency_ticks: req(v, "latency_ticks")?,
             }),
             "redirect" => Ok(TraceEvent::RequestsRedirected {
+                step: req(v, "step")?,
+                from: req(v, "from")?,
+                to: req(v, "to")?,
+                count: req(v, "count")?,
+            }),
+            "handoff" => Ok(TraceEvent::AcceptorHandoff {
                 step: req(v, "step")?,
                 from: req(v, "from")?,
                 to: req(v, "to")?,
@@ -680,6 +714,12 @@ mod tests {
                 from: 6,
                 to: 2,
                 count: 14,
+            },
+            TraceEvent::AcceptorHandoff {
+                step: 97,
+                from: 0,
+                to: 1,
+                count: 9,
             },
             TraceEvent::RunFinished { run: 3 },
         ]

@@ -132,6 +132,45 @@ proptest! {
     }
 
     #[test]
+    fn request_routed_round_trips(
+        step in any::<u64>(),
+        req in any::<u64>(),
+        shard in any::<u64>(),
+    ) {
+        check(TraceEvent::RequestRouted { step, req, shard })?;
+    }
+
+    #[test]
+    fn request_completed_round_trips(
+        step in any::<u64>(),
+        req in any::<u64>(),
+        shard in any::<u64>(),
+        latency_ticks in any::<u64>(),
+    ) {
+        check(TraceEvent::RequestCompleted { step, req, shard, latency_ticks })?;
+    }
+
+    #[test]
+    fn requests_redirected_round_trips(
+        step in any::<u64>(),
+        from in any::<u64>(),
+        to in any::<u64>(),
+        count in any::<u64>(),
+    ) {
+        check(TraceEvent::RequestsRedirected { step, from, to, count })?;
+    }
+
+    #[test]
+    fn acceptor_handoff_round_trips(
+        step in any::<u64>(),
+        from in any::<u64>(),
+        to in any::<u64>(),
+        count in any::<u64>(),
+    ) {
+        check(TraceEvent::AcceptorHandoff { step, from, to, count })?;
+    }
+
+    #[test]
     fn run_finished_round_trips(run in any::<u64>()) {
         check(TraceEvent::RunFinished { run })?;
     }
