@@ -22,13 +22,73 @@
 //! * [`Diffusion`] — first-order diffusion (Cybenko): fixed-coefficient
 //!   neighbour exchange every step, the classic local iterative scheme.
 //!
+//! Beyond the strawmen, four rivals from the literature (see PAPERS.md)
+//! give the arena real competition:
+//!
+//! * [`Quasirandom`] — deterministic rotor-router diffusion
+//!   (Friedrich–Gairing–Sauerwald, arXiv:1006.3302).
+//! * [`DynamicAveraging`] — random-neighbour pairwise averaging
+//!   (Berenbrink et al., arXiv:2302.12201).
+//! * [`LocallyOptimal`] — local-improvement moves to a locally optimal
+//!   configuration (Feuilloley–Hirvonen–Suomela, arXiv:1502.04511).
+//! * [`DimensionExchange`] — matching-based alternating exchange on
+//!   hypercubes, rings and tori (arXiv:1308.0148).
+//!
 //! All implement [`LoadBalancer`], so every experiment can drive them
 //! with the identical recorded event trace.
+
+pub mod adjacency;
+mod averaging;
+mod dimension_exchange;
+mod local_opt;
+mod quasirandom;
+
+pub use adjacency::Adjacency;
+pub use averaging::DynamicAveraging;
+pub use dimension_exchange::DimensionExchange;
+pub use local_opt::LocallyOptimal;
+pub use quasirandom::Quasirandom;
 
 use dlb_core::{LoadBalancer, LoadEvent, Metrics};
 use dlb_net::Topology;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+
+/// Shared event-application phase for the fault-aware balancers: applies
+/// generate/consume/idle to `loads`, skipping processors marked `down`
+/// (a crashed processor neither generates nor consumes — its queue is
+/// frozen, matching the engines' `crash_mode: frozen` semantics).
+pub(crate) fn apply_events(
+    loads: &mut [u64],
+    metrics: &mut Metrics,
+    events: &[LoadEvent],
+    down: Option<&[bool]>,
+) {
+    assert_eq!(events.len(), loads.len(), "one event per processor");
+    if let Some(d) = down {
+        assert_eq!(d.len(), loads.len(), "one mask entry per processor");
+    }
+    for (i, &ev) in events.iter().enumerate() {
+        if down.is_some_and(|d| d[i]) {
+            continue;
+        }
+        match ev {
+            LoadEvent::Generate => {
+                loads[i] += 1;
+                metrics.generated += 1;
+            }
+            LoadEvent::Consume => {
+                if loads[i] > 0 {
+                    loads[i] -= 1;
+                    metrics.consumed += 1;
+                } else {
+                    metrics.consume_blocked += 1;
+                }
+            }
+            LoadEvent::Idle => {}
+        }
+    }
+}
 
 /// Null strategy: no migration at all.
 pub struct NoBalance {
@@ -53,6 +113,11 @@ impl LoadBalancer for NoBalance {
 
     fn loads(&self) -> Vec<u64> {
         self.loads.clone()
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
     }
 
     fn step(&mut self, events: &[LoadEvent]) {
@@ -89,6 +154,8 @@ impl LoadBalancer for NoBalance {
 /// uniformly random processor.
 pub struct RandomScatter {
     loads: Vec<u64>,
+    /// Pre-scatter loads (struct-held scratch, reused every step).
+    snapshot: Vec<u64>,
     metrics: Metrics,
     rng: ChaCha8Rng,
 }
@@ -98,6 +165,7 @@ impl RandomScatter {
     pub fn new(n: usize, seed: u64) -> Self {
         RandomScatter {
             loads: vec![0; n],
+            snapshot: vec![0; n],
             metrics: Metrics::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
@@ -135,8 +203,10 @@ impl LoadBalancer for RandomScatter {
         // Scatter phase: ship whole queues to random targets.  Moves are
         // computed against the pre-scatter snapshot so a queue moves once.
         let n = self.loads.len();
-        let snapshot = self.loads.clone();
-        for (i, &l) in snapshot.iter().enumerate() {
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(&self.loads);
+        for i in 0..n {
+            let l = self.snapshot[i];
             if l > 0 {
                 let target = self.rng.gen_range(0..n);
                 if target != i {
@@ -147,6 +217,11 @@ impl LoadBalancer for RandomScatter {
                 }
             }
         }
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
     }
 
     fn metrics(&self) -> &Metrics {
@@ -208,6 +283,11 @@ impl LoadBalancer for Rsu91 {
         self.loads.clone()
     }
 
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
+    }
+
     fn step(&mut self, events: &[LoadEvent]) {
         assert_eq!(events.len(), self.loads.len(), "one event per processor");
         for (i, &ev) in events.iter().enumerate() {
@@ -242,8 +322,14 @@ impl LoadBalancer for Rsu91 {
 
 /// The Lin–Keller gradient model on an explicit topology.
 pub struct Gradient {
-    topology: Topology,
+    adj: Adjacency,
     loads: Vec<u64>,
+    /// BFS distance field to the nearest underloaded node (scratch).
+    dist: Vec<u32>,
+    /// BFS frontier (scratch, drained every step).
+    queue: std::collections::VecDeque<usize>,
+    /// Pre-migration loads (scratch).
+    snapshot: Vec<u64>,
     metrics: Metrics,
     /// Below this load a processor is "underloaded" and attracts packets.
     pub low_watermark: u64,
@@ -255,36 +341,40 @@ impl Gradient {
     /// Gradient balancer with the given watermarks (`low < high`).
     pub fn new(topology: Topology, low_watermark: u64, high_watermark: u64) -> Self {
         assert!(low_watermark < high_watermark, "watermarks must be ordered");
-        let n = topology.n();
+        let adj = Adjacency::new(&topology);
+        let n = adj.n();
         Gradient {
-            topology,
+            adj,
             loads: vec![0; n],
+            dist: vec![u32::MAX; n],
+            queue: std::collections::VecDeque::new(),
+            snapshot: vec![0; n],
             metrics: Metrics::new(),
             low_watermark,
             high_watermark,
         }
     }
 
-    /// Multi-source BFS distance to the nearest underloaded processor.
-    fn gradient_field(&self) -> Vec<u32> {
-        let n = self.loads.len();
-        let mut dist = vec![u32::MAX; n];
-        let mut queue = std::collections::VecDeque::new();
+    /// Multi-source BFS distance to the nearest underloaded processor,
+    /// refilled into the persistent `dist` scratch buffer.
+    fn gradient_field(&mut self) {
+        self.dist.fill(u32::MAX);
+        self.queue.clear();
         for (v, &l) in self.loads.iter().enumerate() {
             if l <= self.low_watermark {
-                dist[v] = 0;
-                queue.push_back(v);
+                self.dist[v] = 0;
+                self.queue.push_back(v);
             }
         }
-        while let Some(v) = queue.pop_front() {
-            for u in self.topology.neighbors(v) {
-                if dist[u] == u32::MAX {
-                    dist[u] = dist[v] + 1;
-                    queue.push_back(u);
+        while let Some(v) = self.queue.pop_front() {
+            for &u in self.adj.neighbors(v) {
+                let u = u as usize;
+                if self.dist[u] == u32::MAX {
+                    self.dist[u] = self.dist[v] + 1;
+                    self.queue.push_back(u);
                 }
             }
         }
-        dist
     }
 }
 
@@ -295,6 +385,11 @@ impl LoadBalancer for Gradient {
 
     fn loads(&self) -> Vec<u64> {
         self.loads.clone()
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
     }
 
     fn step(&mut self, events: &[LoadEvent]) {
@@ -318,21 +413,31 @@ impl LoadBalancer for Gradient {
         }
         // Migration phase: every overloaded node forwards one packet one
         // hop down the demand gradient.
-        let field = self.gradient_field();
-        let snapshot = self.loads.clone();
+        self.gradient_field();
+        let Gradient {
+            adj,
+            loads,
+            dist,
+            snapshot,
+            metrics,
+            high_watermark,
+            ..
+        } = self;
+        snapshot.clear();
+        snapshot.extend_from_slice(loads);
         for (v, &l) in snapshot.iter().enumerate() {
-            if l > self.high_watermark && field[v] != 0 && field[v] != u32::MAX {
-                if let Some(next) = self
-                    .topology
+            if l > *high_watermark && dist[v] != 0 && dist[v] != u32::MAX {
+                if let Some(next) = adj
                     .neighbors(v)
-                    .into_iter()
-                    .min_by_key(|&u| field[u])
-                    .filter(|&u| field[u] < field[v])
+                    .iter()
+                    .map(|&u| u as usize)
+                    .min_by_key(|&u| dist[u])
+                    .filter(|&u| dist[u] < dist[v])
                 {
-                    self.loads[v] -= 1;
-                    self.loads[next] += 1;
-                    self.metrics.packets_migrated += 1;
-                    self.metrics.messages += 1;
+                    loads[v] -= 1;
+                    loads[next] += 1;
+                    metrics.packets_migrated += 1;
+                    metrics.messages += 1;
                 }
             }
         }
@@ -354,8 +459,12 @@ impl LoadBalancer for Gradient {
 /// every processor works every step, converging at the speed of the
 /// graph's spectral gap.
 pub struct Diffusion {
-    topology: Topology,
+    adj: Adjacency,
     loads: Vec<u64>,
+    /// Pre-diffusion loads (scratch, Jacobi snapshot).
+    snapshot: Vec<u64>,
+    /// Net per-node flow accumulated this step (scratch).
+    delta: Vec<i64>,
     metrics: Metrics,
     /// Exchange coefficient α (0 < α ≤ 1/(max degree + 1) for stability).
     pub alpha: f64,
@@ -369,10 +478,13 @@ impl Diffusion {
     /// Panics unless `0 < alpha <= 0.5`.
     pub fn new(topology: Topology, alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 0.5, "need 0 < alpha <= 0.5");
-        let n = topology.n();
+        let adj = Adjacency::new(&topology);
+        let n = adj.n();
         Diffusion {
-            topology,
+            adj,
             loads: vec![0; n],
+            snapshot: vec![0; n],
+            delta: vec![0; n],
             metrics: Metrics::new(),
             alpha,
         }
@@ -381,25 +493,35 @@ impl Diffusion {
     fn diffuse(&mut self) {
         // Compute all flows from the same snapshot (Jacobi style), then
         // apply: this keeps the step symmetric and conservative.
-        let n = self.loads.len();
-        let snapshot = self.loads.clone();
-        let mut delta = vec![0i64; n];
+        let Diffusion {
+            adj,
+            loads,
+            snapshot,
+            delta,
+            metrics,
+            alpha,
+        } = self;
+        let n = loads.len();
+        snapshot.clear();
+        snapshot.extend_from_slice(loads);
+        delta.fill(0);
         for v in 0..n {
-            for u in self.topology.neighbors(v) {
+            for &u in adj.neighbors(v) {
+                let u = u as usize;
                 if u <= v {
                     continue; // handle each undirected edge once
                 }
                 let diff = snapshot[v] as i64 - snapshot[u] as i64;
-                let flow = (self.alpha * diff.abs() as f64).floor() as i64 * diff.signum();
+                let flow = (*alpha * diff.abs() as f64).floor() as i64 * diff.signum();
                 delta[v] -= flow;
                 delta[u] += flow;
                 if flow != 0 {
-                    self.metrics.packets_migrated += flow.unsigned_abs();
-                    self.metrics.messages += 1;
+                    metrics.packets_migrated += flow.unsigned_abs();
+                    metrics.messages += 1;
                 }
             }
         }
-        for (l, d) in self.loads.iter_mut().zip(delta.iter()) {
+        for (l, d) in loads.iter_mut().zip(delta.iter()) {
             *l = (*l as i64 + d) as u64;
         }
     }
@@ -412,6 +534,11 @@ impl LoadBalancer for Diffusion {
 
     fn loads(&self) -> Vec<u64> {
         self.loads.clone()
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
     }
 
     fn step(&mut self, events: &[LoadEvent]) {
@@ -477,6 +604,13 @@ impl LoadBalancer for WorkStealing {
         self.loads.clone()
     }
 
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
+    }
+
+    // Audit note: the steal phase below mutates `loads` in place and
+    // allocates nothing per step — already scratch-buffer clean.
     fn step(&mut self, events: &[LoadEvent]) {
         assert_eq!(events.len(), self.loads.len(), "one event per processor");
         for (i, &ev) in events.iter().enumerate() {
@@ -706,6 +840,10 @@ mod tests {
             Box::new(Gradient::new(Topology::Hypercube { dim: 3 }, 1, 4)),
             Box::new(WorkStealing::new(n, 3)),
             Box::new(Diffusion::new(Topology::Hypercube { dim: 3 }, 0.2)),
+            Box::new(Quasirandom::new(Topology::Hypercube { dim: 3 })),
+            Box::new(DynamicAveraging::new(Topology::Hypercube { dim: 3 }, 4)),
+            Box::new(LocallyOptimal::new(Topology::Hypercube { dim: 3 })),
+            Box::new(DimensionExchange::new(Topology::Hypercube { dim: 3 })),
         ];
         for _ in 0..300 {
             let events: Vec<LoadEvent> = (0..n)

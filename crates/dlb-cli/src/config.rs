@@ -20,6 +20,11 @@ pub struct Scenario {
     pub warmup_fraction: f64,
     /// The balancing strategy.
     pub strategy: StrategyConfig,
+    /// Optional rival strategies: when non-empty, `dlb run` races
+    /// `strategy` against each entry on the identical workload, fault
+    /// plan and seeds, and prints a league table instead of a single
+    /// report.
+    pub balancer: Vec<StrategyConfig>,
     /// The load pattern.
     pub workload: WorkloadConfig,
     /// Optional fault injection: message loss, duplication, jitter,
@@ -107,6 +112,27 @@ pub enum StrategyConfig {
         low: u64,
         /// High watermark (sheds work above this load).
         high: u64,
+    },
+    /// Rotor-router quasirandom balancing (arXiv:1006.3302).
+    Quasirandom {
+        /// Interconnect.
+        topology: TopologyConfig,
+    },
+    /// Randomised pairwise averaging (arXiv:2302.12201).
+    DynamicAveraging {
+        /// Interconnect.
+        topology: TopologyConfig,
+    },
+    /// Greedy unit-token moves to the lightest neighbour (arXiv:1502.04511).
+    LocallyOptimal {
+        /// Interconnect.
+        topology: TopologyConfig,
+    },
+    /// Dimension-exchange matchings (arXiv:1308.0148); topology must be
+    /// a hypercube, torus or ring.
+    DimensionExchange {
+        /// Interconnect.
+        topology: TopologyConfig,
     },
     /// No balancing.
     None,
@@ -337,6 +363,22 @@ impl ToJson for StrategyConfig {
                 fields.push(("high".into(), high.to_json()));
                 "gradient"
             }
+            StrategyConfig::Quasirandom { topology } => {
+                fields.push(("topology".into(), topology.to_json()));
+                "quasirandom"
+            }
+            StrategyConfig::DynamicAveraging { topology } => {
+                fields.push(("topology".into(), topology.to_json()));
+                "dynamic-averaging"
+            }
+            StrategyConfig::LocallyOptimal { topology } => {
+                fields.push(("topology".into(), topology.to_json()));
+                "locally-optimal"
+            }
+            StrategyConfig::DimensionExchange { topology } => {
+                fields.push(("topology".into(), topology.to_json()));
+                "dimension-exchange"
+            }
             StrategyConfig::None => "none",
         };
         let mut obj = vec![("kind".to_string(), Json::Str(kind.to_string()))];
@@ -356,6 +398,9 @@ impl FromJson for StrategyConfig {
             "topo" => &["kind", "delta", "f", "topology", "neighbors_only"],
             "diffusion" => &["kind", "topology", "alpha"],
             "gradient" => &["kind", "topology", "low", "high"],
+            "quasirandom" | "dynamic-averaging" | "locally-optimal" | "dimension-exchange" => {
+                &["kind", "topology"]
+            }
             _ => &["kind"],
         };
         dlb_json::reject_unknown(value, allowed)?;
@@ -396,6 +441,18 @@ impl FromJson for StrategyConfig {
                 topology: dlb_json::req(value, "topology")?,
                 low: dlb_json::req(value, "low")?,
                 high: dlb_json::req(value, "high")?,
+            }),
+            "quasirandom" => Ok(StrategyConfig::Quasirandom {
+                topology: dlb_json::req(value, "topology")?,
+            }),
+            "dynamic-averaging" => Ok(StrategyConfig::DynamicAveraging {
+                topology: dlb_json::req(value, "topology")?,
+            }),
+            "locally-optimal" => Ok(StrategyConfig::LocallyOptimal {
+                topology: dlb_json::req(value, "topology")?,
+            }),
+            "dimension-exchange" => Ok(StrategyConfig::DimensionExchange {
+                topology: dlb_json::req(value, "topology")?,
             }),
             "none" => Ok(StrategyConfig::None),
             other => Err(format!("unknown strategy kind {other:?}")),
@@ -489,6 +546,9 @@ impl ToJson for Scenario {
             ("strategy".to_string(), self.strategy.to_json()),
             ("workload".to_string(), self.workload.to_json()),
         ];
+        if !self.balancer.is_empty() {
+            obj.push(("balancer".to_string(), self.balancer.to_json()));
+        }
         if let Some(faults) = &self.faults {
             obj.push(("faults".to_string(), faults.to_json()));
         }
@@ -511,6 +571,7 @@ impl FromJson for Scenario {
                 "warmup_fraction",
                 "strategy",
                 "workload",
+                "balancer",
                 "faults",
                 "trace",
             ],
@@ -531,6 +592,7 @@ impl FromJson for Scenario {
             warmup_fraction: dlb_json::field_or(value, "warmup_fraction", default_warmup())?,
             strategy: dlb_json::req(value, "strategy")?,
             workload: dlb_json::req(value, "workload")?,
+            balancer: dlb_json::field_or(value, "balancer", Vec::new())?,
             faults,
             trace,
         })
@@ -561,13 +623,24 @@ impl Scenario {
         if !(0.0..1.0).contains(&self.warmup_fraction) {
             return Err("warmup_fraction must lie in [0, 1)".into());
         }
-        if let StrategyConfig::Weighted { speeds, .. } = &self.strategy {
-            if speeds.len() != self.n {
-                return Err(format!(
-                    "weighted strategy needs {} speeds, got {}",
-                    self.n,
-                    speeds.len()
-                ));
+        for strategy in std::iter::once(&self.strategy).chain(&self.balancer) {
+            if let StrategyConfig::Weighted { speeds, .. } = strategy {
+                if speeds.len() != self.n {
+                    return Err(format!(
+                        "weighted strategy needs {} speeds, got {}",
+                        self.n,
+                        speeds.len()
+                    ));
+                }
+            }
+        }
+        if !self.balancer.is_empty() {
+            for strategy in std::iter::once(&self.strategy).chain(&self.balancer) {
+                if matches!(strategy, StrategyConfig::Async { .. }) {
+                    return Err("the balancer league runs synchronous steps; \
+                         \"async\" cannot be a league contender"
+                        .into());
+                }
             }
         }
         if let Some(faults) = &self.faults {
@@ -592,6 +665,7 @@ impl Scenario {
                 c: default_cc(),
                 len: default_len(),
             },
+            balancer: Vec::new(),
             faults: None,
             trace: None,
         }
@@ -672,6 +746,10 @@ mod tests {
             r#"{"kind": "random-scatter"}"#,
             r#"{"kind": "gradient", "topology": {"kind": "hypercube", "dim": 3}, "low": 2, "high": 8}"#,
             r#"{"kind": "diffusion", "topology": {"kind": "ring"}, "alpha": 0.25}"#,
+            r#"{"kind": "quasirandom", "topology": {"kind": "hypercube", "dim": 3}}"#,
+            r#"{"kind": "dynamic-averaging", "topology": {"kind": "complete"}}"#,
+            r#"{"kind": "locally-optimal", "topology": {"kind": "torus", "w": 2, "h": 4}}"#,
+            r#"{"kind": "dimension-exchange", "topology": {"kind": "ring"}}"#,
             r#"{"kind": "none"}"#,
         ] {
             let value = Json::parse(kind).unwrap();
@@ -732,6 +810,40 @@ mod tests {
         let err = Scenario::from_json(text).unwrap_err();
         assert!(err.contains("faults"), "{err}");
         assert!(err.contains("\"rejoin\""), "{err}");
+    }
+
+    #[test]
+    fn balancer_list_roundtrips_and_defaults_to_empty() {
+        let mut s = Scenario::demo();
+        assert!(s.balancer.is_empty());
+        assert!(!s.to_json().contains("balancer"), "omitted when empty");
+        s.balancer = vec![
+            StrategyConfig::Quasirandom {
+                topology: TopologyConfig::Hypercube { dim: 6 },
+            },
+            StrategyConfig::None,
+        ];
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn async_cannot_enter_the_league() {
+        let mut s = Scenario::demo();
+        s.balancer = vec![StrategyConfig::Async {
+            delta: 1,
+            f: 1.1,
+            latency: 4,
+        }];
+        assert!(s.validate().unwrap_err().contains("async"));
+        // Async as the primary strategy is still fine without a league.
+        let mut s = Scenario::demo();
+        s.strategy = StrategyConfig::Async {
+            delta: 1,
+            f: 1.1,
+            latency: 4,
+        };
+        assert!(s.validate().is_ok());
     }
 
     #[test]

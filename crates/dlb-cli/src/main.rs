@@ -3,6 +3,9 @@
 //! ```text
 //! dlb demo [options]                  run the built-in §7 demo scenario
 //! dlb run <scenario.json> [options]   run a scenario from a JSON file
+//!                                     (a non-empty "balancer" list races
+//!                                     the strategy against each entry and
+//!                                     prints a league table instead)
 //! dlb template                        print a scenario template to stdout
 //! dlb serve <scenario.json> [--mode sim|wall] [--workers N] [--acceptors A]
 //!                                     run the request-routing service
@@ -100,6 +103,21 @@ fn parse_options(rest: &[String]) -> Result<RunOptions, String> {
 }
 
 fn run_scenario(scenario: Scenario, opts: &RunOptions) -> Result<(), String> {
+    if !scenario.balancer.is_empty() {
+        println!(
+            "league: {} processors, {} steps x {} runs, {} contenders\n",
+            scenario.n,
+            scenario.steps,
+            scenario.runs,
+            scenario.balancer.len() + 1
+        );
+        let table = run::execute_league(&scenario, opts)?;
+        println!("{table}");
+        if let Some(path) = opts.trace.as_ref().or(scenario.trace.as_ref()) {
+            println!("\ntrace written to {path}");
+        }
+        return Ok(());
+    }
     println!(
         "running: {} processors, {} steps x {} runs, strategy {:?}\n",
         scenario.n, scenario.steps, scenario.runs, scenario.strategy

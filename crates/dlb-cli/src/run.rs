@@ -8,11 +8,17 @@
 //! `--jobs N`.
 
 use crate::config::{Scenario, StrategyConfig, TopologyConfig, WorkloadConfig};
-use dlb_baselines::{Diffusion, Gradient, NoBalance, RandomScatter, Rsu91, WorkStealing};
+use dlb_baselines::{
+    Diffusion, DimensionExchange, DynamicAveraging, Gradient, LocallyOptimal, NoBalance,
+    Quasirandom, RandomScatter, Rsu91, WorkStealing,
+};
 use dlb_core::{
     Cluster, LoadBalancer, LoadEvent, LoadRecorder, Params, SimpleCluster, WeightedCluster,
 };
-use dlb_experiments::{par_map, stream_seed, StreamId};
+use dlb_experiments::arena::{
+    league_csv_rows, run_league, ArenaConfig, Contender, DEFAULT_CONV_THRESHOLD, LEAGUE_HEADERS,
+};
+use dlb_experiments::{par_map, render_table, stream_seed, StreamId};
 use dlb_faults::FaultInjector;
 use dlb_net::{AsyncConfig, AsyncNetwork, AsyncStats, PartnerMode, TopoCluster, Topology};
 use dlb_trace::{BufferSink, FileSink, TraceEvent, TraceSink};
@@ -128,10 +134,17 @@ fn build_topology(config: &TopologyConfig, n: usize) -> Result<Topology, String>
 }
 
 fn build_strategy(scenario: &Scenario, seed: u64) -> Result<Box<dyn LoadBalancer>, String> {
-    let n = scenario.n;
+    build_strategy_config(&scenario.strategy, scenario.n, seed)
+}
+
+fn build_strategy_config(
+    config: &StrategyConfig,
+    n: usize,
+    seed: u64,
+) -> Result<Box<dyn LoadBalancer>, String> {
     let params =
         |delta: usize, f: f64, c: usize| Params::new(n, delta, f, c).map_err(|e| e.to_string());
-    Ok(match &scenario.strategy {
+    Ok(match config {
         StrategyConfig::Full { delta, f, c } => {
             Box::new(Cluster::new(params(*delta, *f, *c)?, seed))
         }
@@ -179,8 +192,48 @@ fn build_strategy(scenario: &Scenario, seed: u64) -> Result<Box<dyn LoadBalancer
             }
             Box::new(Gradient::new(build_topology(topology, n)?, *low, *high))
         }
+        StrategyConfig::Quasirandom { topology } => {
+            Box::new(Quasirandom::new(build_topology(topology, n)?))
+        }
+        StrategyConfig::DynamicAveraging { topology } => {
+            Box::new(DynamicAveraging::new(build_topology(topology, n)?, seed))
+        }
+        StrategyConfig::LocallyOptimal { topology } => {
+            Box::new(LocallyOptimal::new(build_topology(topology, n)?))
+        }
+        StrategyConfig::DimensionExchange { topology } => {
+            let topo = build_topology(topology, n)?;
+            if !matches!(
+                topo,
+                Topology::Hypercube { .. } | Topology::Torus2D { .. } | Topology::Ring { .. }
+            ) {
+                return Err("dimension-exchange needs a hypercube, torus or ring topology".into());
+            }
+            Box::new(DimensionExchange::new(topo))
+        }
         StrategyConfig::None => Box::new(NoBalance::new(n)),
     })
+}
+
+/// The JSON `kind` of a strategy (league-table contender labels).
+fn kind_label(config: &StrategyConfig) -> &'static str {
+    match config {
+        StrategyConfig::Full { .. } => "full",
+        StrategyConfig::Simple { .. } => "simple",
+        StrategyConfig::Async { .. } => "async",
+        StrategyConfig::Weighted { .. } => "weighted",
+        StrategyConfig::Topo { .. } => "topo",
+        StrategyConfig::Rsu91 => "rsu91",
+        StrategyConfig::WorkStealing => "work-stealing",
+        StrategyConfig::RandomScatter => "random-scatter",
+        StrategyConfig::Diffusion { .. } => "diffusion",
+        StrategyConfig::Gradient { .. } => "gradient",
+        StrategyConfig::Quasirandom { .. } => "quasirandom",
+        StrategyConfig::DynamicAveraging { .. } => "dynamic-averaging",
+        StrategyConfig::LocallyOptimal { .. } => "locally-optimal",
+        StrategyConfig::DimensionExchange { .. } => "dimension-exchange",
+        StrategyConfig::None => "none",
+    }
 }
 
 fn build_workload(scenario: &Scenario, seed: u64) -> Result<Box<dyn Workload>, String> {
@@ -505,6 +558,83 @@ pub fn execute_with(scenario: &Scenario, opts: &RunOptions) -> Result<Report, St
     })
 }
 
+/// Races `scenario.strategy` against every `scenario.balancer` entry —
+/// identical workloads, fault plans and per-run RNG streams for every
+/// contender — and returns the rendered league table.  The primary
+/// strategy's trigger-rule draws are byte-identical to a plain
+/// [`execute_with`] run of the same scenario.  With tracing enabled the
+/// JSONL carries one `ArenaContender` announcement per (contender, run)
+/// followed by that run's engine events, in contender-major order.
+pub fn execute_league(scenario: &Scenario, opts: &RunOptions) -> Result<String, String> {
+    scenario.validate()?;
+    let trace_path = opts.trace.clone().or_else(|| scenario.trace.clone());
+    let tracing = trace_path.is_some();
+    let n = scenario.n;
+    build_workload(scenario, 0)?; // eager validation, once, off the hot path
+
+    let mut contenders: Vec<Contender> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for config in std::iter::once(&scenario.strategy).chain(&scenario.balancer) {
+        build_strategy_config(config, n, 0)?; // eager validation
+        let base = kind_label(config);
+        let dups = labels.iter().filter(|l| l.as_str() == base).count();
+        let label = if dups == 0 {
+            base.to_string()
+        } else {
+            format!("{base}#{}", dups + 1)
+        };
+        labels.push(base.to_string());
+        let config = config.clone();
+        contenders.push(Contender::new(&label, move |seed| {
+            build_strategy_config(&config, n, seed).expect("contender validated above")
+        }));
+    }
+
+    let cfg = ArenaConfig {
+        n,
+        steps: scenario.steps,
+        runs: scenario.runs,
+        seed: scenario.seed,
+        warmup_fraction: scenario.warmup_fraction,
+        conv_threshold: DEFAULT_CONV_THRESHOLD,
+        faults: scenario.faults.clone(),
+        jobs: opts.jobs.max(1),
+    };
+    let result = run_league(
+        &cfg,
+        &contenders,
+        |seed| {
+            let mut workload = build_workload(scenario, seed).expect("workload validated above");
+            dlb_workload::trace::EventTrace::record(&mut workload, scenario.steps)
+        },
+        tracing,
+    );
+
+    if let Some(path) = &trace_path {
+        let mut sink = FileSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("cannot create trace {path}: {e}"))?;
+        for ev in &result.events {
+            sink.record(ev);
+        }
+        sink.flush();
+    }
+
+    // The Lemma 6 cost yardstick applies only when the primary strategy
+    // is the full algorithm (it alone runs decrease simulations).
+    let lemma6_budget = match &scenario.strategy {
+        StrategyConfig::Full { delta, f, c } => {
+            let params = Params::new(n, *delta, *f, *c).map_err(|e| e.to_string())?;
+            let cb = *c as u64;
+            dlb_theory::CostBounds::for_params(params.algo()).lemma6_upper(2 * cb, cb, 64)
+        }
+        _ => None,
+    };
+    Ok(render_table(
+        &LEAGUE_HEADERS,
+        &league_csv_rows(&result.rows, lemma6_budget),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +655,7 @@ mod tests {
             warmup_fraction: 0.2,
             strategy,
             workload,
+            balancer: vec![],
             faults: None,
             trace: None,
         }
@@ -577,6 +708,18 @@ mod tests {
             StrategyConfig::Diffusion {
                 topology: TopologyConfig::Ring,
                 alpha: 0.25,
+            },
+            StrategyConfig::Quasirandom {
+                topology: TopologyConfig::Hypercube { dim: 3 },
+            },
+            StrategyConfig::DynamicAveraging {
+                topology: TopologyConfig::Complete,
+            },
+            StrategyConfig::LocallyOptimal {
+                topology: TopologyConfig::Torus { w: 2, h: 4 },
+            },
+            StrategyConfig::DimensionExchange {
+                topology: TopologyConfig::Ring,
             },
             StrategyConfig::None,
         ];
@@ -776,6 +919,123 @@ mod tests {
         assert_eq!(plain.mean_ratio, traced.mean_ratio, "tracing is inert");
         assert_eq!(plain.ops_per_run, traced.ops_per_run);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A scenario with a three-way league: the full algorithm vs two
+    /// rivals, with a frozen crash in play.
+    fn league_scenario() -> Scenario {
+        let mut scenario = small_scenario(
+            StrategyConfig::Full {
+                delta: 1,
+                f: 1.1,
+                c: 4,
+            },
+            WorkloadConfig::Uniform {
+                p_gen: 0.5,
+                p_con: 0.3,
+            },
+        );
+        scenario.balancer = vec![
+            StrategyConfig::Quasirandom {
+                topology: TopologyConfig::Hypercube { dim: 3 },
+            },
+            StrategyConfig::None,
+        ];
+        scenario.faults = Some(FaultPlan {
+            crashes: vec![CrashEvent {
+                proc: 2,
+                at: 30,
+                recover_at: Some(60),
+            }],
+            ..FaultPlan::default()
+        });
+        scenario
+    }
+
+    #[test]
+    fn league_table_is_identical_across_jobs() {
+        let scenario = league_scenario();
+        let run_with = |jobs| {
+            execute_league(
+                &scenario,
+                &RunOptions {
+                    jobs,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let table = run_with(1);
+        for label in ["full", "quasirandom", "none", "cost_vs_l6"] {
+            assert!(table.contains(label), "missing {label} in:\n{table}");
+        }
+        assert_eq!(table, run_with(4), "league must not depend on --jobs");
+    }
+
+    #[test]
+    fn league_announces_contenders_in_the_trace() {
+        let dir = std::env::temp_dir().join("dlb_cli_league_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("league.jsonl");
+        let scenario = league_scenario();
+        let opts = RunOptions {
+            trace: Some(path.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        };
+        execute_league(&scenario, &opts).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let announced: Vec<String> = text
+            .lines()
+            .map(|l| dlb_trace::TraceEvent::from_line(l).unwrap())
+            .filter_map(|ev| match ev {
+                TraceEvent::ArenaContender { label, .. } => Some(label),
+                _ => None,
+            })
+            .collect();
+        // Contender-major: each contender announces all its runs in order.
+        assert_eq!(
+            announced,
+            ["full", "full", "quasirandom", "quasirandom", "none", "none"]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_league_kinds_get_distinct_labels() {
+        let mut scenario = league_scenario();
+        scenario.balancer = vec![
+            StrategyConfig::Diffusion {
+                topology: TopologyConfig::Ring,
+                alpha: 0.1,
+            },
+            StrategyConfig::Diffusion {
+                topology: TopologyConfig::Ring,
+                alpha: 0.5,
+            },
+        ];
+        let table = execute_league(&scenario, &RunOptions::default()).unwrap();
+        assert!(table.contains("diffusion"), "{table}");
+        assert!(table.contains("diffusion#2"), "{table}");
+    }
+
+    #[test]
+    fn league_primary_matches_a_plain_run_bit_for_bit() {
+        // The trigger-rule contender inside the league must consume its
+        // RNG streams exactly as a plain single-strategy run does.
+        let mut scenario = league_scenario();
+        scenario.faults = None;
+        let plain = execute(&scenario).unwrap();
+        let table = execute_league(&scenario, &RunOptions::default()).unwrap();
+        let full_row: Vec<&str> = table
+            .lines()
+            .find(|l| l.trim_start().starts_with("full"))
+            .expect("full row present")
+            .split_whitespace()
+            .collect();
+        // Columns: contender strategy mean p95 worst ops migrated ...
+        assert_eq!(full_row[2], format!("{:.3}", plain.mean_ratio));
+        assert_eq!(full_row[4], format!("{:.3}", plain.worst_ratio));
+        assert_eq!(full_row[5], format!("{:.3}", plain.ops_per_run));
     }
 
     #[test]

@@ -219,6 +219,7 @@ pub fn analyze(events: &[TraceEvent]) -> Vec<RunAnalysis> {
             | TraceEvent::RequestCompleted { .. }
             | TraceEvent::RequestsRedirected { .. }
             | TraceEvent::AcceptorHandoff { .. }
+            | TraceEvent::ArenaContender { .. }
             | TraceEvent::RunFinished { .. } => {}
             TraceEvent::RunStarted { .. } => unreachable!("handled above"),
         }

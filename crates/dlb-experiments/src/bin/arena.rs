@@ -1,0 +1,183 @@
+//! Balancer arena: the trigger rule vs the literature, one league table.
+//!
+//! Every contender replays the same §7 phase workloads on a hypercube-
+//! sized network, survives the same frozen-crash fault plan, and is
+//! scored on balance quality (max/mean ratio), balancing cost (ops,
+//! migrated packets, messages) and convergence time.  The trigger rule's
+//! cost is additionally compared against its Lemma 6 budget
+//! (`cost_vs_l6`; 0.000 for contenders without decrease simulations).
+//!
+//! Usage: `cargo run --release -p dlb-experiments --bin arena
+//!         [--n 64] [--steps 500] [--runs 20] [--seed 61] [--jobs N]
+//!         [--out results/arena.csv] [--svg results/arena.svg]
+//!         [--trace results/arena.jsonl] [--smoke]`
+//!
+//! `--smoke` shrinks the league (n=16, 120 steps, 4 runs) and writes to
+//! `results/arena_smoke.{csv,svg}` so the `arena-golden` CI job can
+//! drift-gate it in seconds.  Output is byte-identical for every
+//! `--jobs` value.
+
+use dlb_baselines::{
+    Diffusion, DimensionExchange, DynamicAveraging, LocallyOptimal, NoBalance, Quasirandom,
+    WorkStealing,
+};
+use dlb_core::{Cluster, Params, SimpleCluster};
+use dlb_experiments::arena::{
+    league_csv_rows, run_league, ArenaConfig, Contender, DEFAULT_CONV_THRESHOLD, LEAGUE_HEADERS,
+};
+use dlb_experiments::args::Args;
+use dlb_experiments::parallel::default_jobs;
+use dlb_experiments::quality::paper_trace;
+use dlb_experiments::report::{render_table, write_csv};
+use dlb_experiments::svg::{write_chart, ChartConfig, Series};
+use dlb_faults::{CrashEvent, CrashMode, FaultPlan};
+use dlb_net::Topology;
+use dlb_theory::CostBounds;
+use dlb_trace::{FileSink, TraceSink};
+
+fn contenders(n: usize, params: Params) -> Vec<Contender> {
+    let dim = n.trailing_zeros();
+    assert_eq!(
+        1usize << dim,
+        n,
+        "arena n must be a power of two (hypercube)"
+    );
+    let cube = move || Topology::Hypercube { dim };
+    vec![
+        Contender::new("spaa93-full", move |seed| {
+            Box::new(Cluster::new(params, seed))
+        }),
+        Contender::new("spaa93-simple", move |seed| {
+            Box::new(SimpleCluster::new(params, seed))
+        }),
+        Contender::new("quasirandom", move |_| Box::new(Quasirandom::new(cube()))),
+        Contender::new("dynamic-averaging", move |seed| {
+            Box::new(DynamicAveraging::new(cube(), seed))
+        }),
+        Contender::new("locally-optimal", move |_| {
+            Box::new(LocallyOptimal::new(cube()))
+        }),
+        Contender::new("dimension-exchange", move |_| {
+            Box::new(DimensionExchange::new(cube()))
+        }),
+        Contender::new("diffusion", move |_| Box::new(Diffusion::new(cube(), 0.2))),
+        Contender::new("work-stealing", move |seed| {
+            Box::new(WorkStealing::new(n, seed))
+        }),
+        Contender::new("no-balance", move |_| Box::new(NoBalance::new(n))),
+    ]
+}
+
+/// The arena's fault plan: two frozen crashes, staggered, the first
+/// recovering mid-run — identical for every contender.
+fn fault_plan(n: usize, steps: usize) -> FaultPlan {
+    FaultPlan {
+        seed: 13,
+        crash_mode: CrashMode::Frozen,
+        crashes: vec![
+            CrashEvent {
+                proc: n / 4,
+                at: (steps / 4) as u64,
+                recover_at: Some((3 * steps / 4) as u64),
+            },
+            CrashEvent {
+                proc: 3 * n / 4,
+                at: (steps / 2) as u64,
+                recover_at: None,
+            },
+        ],
+        ..FaultPlan::default()
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let (def_n, def_steps, def_runs, def_out, def_svg) = if smoke {
+        (
+            16,
+            120,
+            4,
+            "results/arena_smoke.csv",
+            "results/arena_smoke.svg",
+        )
+    } else {
+        (64, 500, 20, "results/arena.csv", "results/arena.svg")
+    };
+    let n: usize = args.get("n", def_n);
+    let steps: usize = args.get("steps", def_steps);
+    let runs: usize = args.get("runs", def_runs);
+    let seed: u64 = args.get("seed", 61);
+    let jobs: usize = args.get("jobs", default_jobs());
+    let out: String = args.get("out", def_out.to_string());
+    let svg: String = args.get("svg", def_svg.to_string());
+    let trace: Option<String> = args.has("trace").then(|| args.get("trace", String::new()));
+
+    let params = Params::new(n, 1, 1.1, 4).expect("valid trigger params");
+    let cfg = ArenaConfig {
+        n,
+        steps,
+        runs,
+        seed,
+        warmup_fraction: 0.2,
+        conv_threshold: DEFAULT_CONV_THRESHOLD,
+        faults: Some(fault_plan(n, steps)),
+        jobs,
+    };
+    let entrants = contenders(n, params);
+
+    println!(
+        "Balancer arena: {} contenders, {n} procs (hypercube), {steps} steps, {runs} runs, \
+         2 frozen crashes\n",
+        entrants.len()
+    );
+    let bounds = CostBounds::for_params(params.algo());
+    let c = params.c_borrow() as u64;
+    let lemma6_budget = bounds.lemma6_upper(2 * c, c, 64);
+    match lemma6_budget {
+        Some(budget) => println!(
+            "Lemma 6 budget: {budget} balance ops per decrease simulation \
+             (x = 2C = {}, C = {c})",
+            2 * c
+        ),
+        None => println!("Lemma 6 budget: out of domain for these parameters"),
+    }
+
+    let result = run_league(
+        &cfg,
+        &entrants,
+        |s| paper_trace(n, steps, s),
+        trace.is_some(),
+    );
+    let rows = league_csv_rows(&result.rows, lemma6_budget);
+    println!("\n{}", render_table(&LEAGUE_HEADERS, &rows));
+    println!(
+        "cost_vs_l6: measured ops / (decrease sims x Lemma 6 budget); 0.000 = no decrease sims."
+    );
+
+    write_csv(&out, &LEAGUE_HEADERS, &rows).expect("CSV written");
+    println!("wrote {out}");
+
+    let series: Vec<Series> = result
+        .rows
+        .iter()
+        .map(|row| Series::from_ys(&row.label, &row.ratio_curve))
+        .collect();
+    let chart = ChartConfig {
+        title: format!("Arena: max/mean load ratio over time ({n} procs, {runs} runs)"),
+        x_label: "step".into(),
+        y_label: "max/mean load".into(),
+        ..ChartConfig::default()
+    };
+    write_chart(&svg, &chart, &series).expect("SVG written");
+    println!("wrote {svg}");
+
+    if let Some(path) = trace {
+        let mut sink = FileSink::create(std::path::Path::new(&path)).expect("trace file");
+        for ev in &result.events {
+            sink.record(ev);
+        }
+        sink.flush();
+        println!("wrote {path} ({} events)", result.events.len());
+    }
+}

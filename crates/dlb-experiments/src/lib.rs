@@ -18,12 +18,14 @@
 //! | `scaling`           | "up to 1024 processors" scaling claim            |
 //! | `ablation`          | full vs simple variant, exchange policy, locality|
 //! | `faults_sweep`      | balance quality vs injected loss / crash rates   |
+//! | `arena`             | league table: trigger rule vs literature rivals  |
 //! | `bench_experiments` | sequential vs `--jobs N` timings + checksums     |
 //!
 //! Monte Carlo binaries take `--jobs N` (default: available cores); the
 //! [`parallel`] harness guarantees byte-identical output for every `N`.
 
 pub mod analyze;
+pub mod arena;
 pub mod args;
 pub mod faultsweep;
 pub mod parallel;

@@ -35,7 +35,12 @@ use std::sync::{Arc, Mutex};
 /// v3 added `handoff` (`AcceptorHandoff`): a sharded wall-mode acceptor
 /// sent a rebalance donation plan to a peer acceptor's inbox; every v2
 /// event renders byte-identically to v2.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added `arena` (`ArenaContender`): the balancer arena announces
+/// which contender the following run belongs to, making a multi-strategy
+/// league trace self-describing; every v3 event renders byte-identically
+/// to v3.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One observable event in a simulation run.
 ///
@@ -131,6 +136,15 @@ pub enum TraceEvent {
         to: u64,
         count: u64,
     },
+    /// Balancer arena: the following run belongs to contender `label`
+    /// (its `LoadBalancer::name` is `strategy`), driven by `seed`.  Like
+    /// the run delimiters it orders by position, not by step.
+    ArenaContender {
+        run: u64,
+        label: String,
+        strategy: String,
+        seed: u64,
+    },
     /// A run finished.
     RunFinished { run: u64 },
 }
@@ -140,7 +154,9 @@ impl TraceEvent {
     /// run delimiters, which order by position instead).
     pub fn step(&self) -> Option<u64> {
         match self {
-            TraceEvent::RunStarted { .. } | TraceEvent::RunFinished { .. } => None,
+            TraceEvent::RunStarted { .. }
+            | TraceEvent::ArenaContender { .. }
+            | TraceEvent::RunFinished { .. } => None,
             TraceEvent::BalanceInitiated { step, .. }
             | TraceEvent::PacketsMigrated { step, .. }
             | TraceEvent::MarkerMoved { step, .. }
@@ -307,6 +323,18 @@ impl ToJson for TraceEvent {
                 ("to".into(), u(*to)),
                 ("count".into(), u(*count)),
             ]),
+            TraceEvent::ArenaContender {
+                run,
+                label,
+                strategy,
+                seed,
+            } => Json::Obj(vec![
+                ("t".into(), "arena".to_json()),
+                ("run".into(), u(*run)),
+                ("label".into(), label.to_json()),
+                ("strategy".into(), strategy.to_json()),
+                ("seed".into(), u(*seed)),
+            ]),
             TraceEvent::RunFinished { run } => Json::Obj(vec![
                 ("t".into(), "run_end".to_json()),
                 ("run".into(), u(*run)),
@@ -401,6 +429,12 @@ impl FromJson for TraceEvent {
                 from: req(v, "from")?,
                 to: req(v, "to")?,
                 count: req(v, "count")?,
+            }),
+            "arena" => Ok(TraceEvent::ArenaContender {
+                run: req(v, "run")?,
+                label: req(v, "label")?,
+                strategy: req(v, "strategy")?,
+                seed: req(v, "seed")?,
             }),
             "run_end" => Ok(TraceEvent::RunFinished {
                 run: req(v, "run")?,
@@ -720,6 +754,12 @@ mod tests {
                 from: 0,
                 to: 1,
                 count: 9,
+            },
+            TraceEvent::ArenaContender {
+                run: 3,
+                label: "quasirandom".into(),
+                strategy: "quasirandom".into(),
+                seed: 99,
             },
             TraceEvent::RunFinished { run: 3 },
         ]

@@ -29,6 +29,19 @@ pub trait Workload {
     fn events_at(&mut self, t: usize, out: &mut Vec<LoadEvent>);
 }
 
+/// Boxed workloads forward, so a `Box<dyn Workload>` built from runtime
+/// configuration can drive the same generic entry points (for example
+/// [`trace::EventTrace::record`]) as a concrete pattern.
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn events_at(&mut self, t: usize, out: &mut Vec<LoadEvent>) {
+        (**self).events_at(t, out);
+    }
+}
+
 /// Drives a balancer with a workload for `steps` global time steps,
 /// invoking `observe(t, balancer)` after each step.
 pub fn drive<B: LoadBalancer + ?Sized, W: Workload + ?Sized>(
