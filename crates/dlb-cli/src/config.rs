@@ -54,6 +54,17 @@ pub enum StrategyConfig {
         /// Borrow limit.
         c: usize,
     },
+    /// The full algorithm on the retired flat-arena engine
+    /// (`DenseCluster`) — bit-identical to `full`; exists so the dense
+    /// oracle stays reachable end to end from scenarios.
+    FullDense {
+        /// Partners per balancing operation.
+        delta: usize,
+        /// Trigger factor.
+        f: f64,
+        /// Borrow limit.
+        c: usize,
+    },
     /// The practical raw-load variant.
     Simple {
         /// Partners per balancing operation.
@@ -316,6 +327,12 @@ impl ToJson for StrategyConfig {
                 fields.push(("c".into(), c.to_json()));
                 "full"
             }
+            StrategyConfig::FullDense { delta, f, c } => {
+                fields.push(("delta".into(), delta.to_json()));
+                fields.push(("f".into(), f.to_json()));
+                fields.push(("c".into(), c.to_json()));
+                "full-dense"
+            }
             StrategyConfig::Simple { delta, f } => {
                 fields.push(("delta".into(), delta.to_json()));
                 fields.push(("f".into(), f.to_json()));
@@ -391,7 +408,7 @@ impl FromJson for StrategyConfig {
     fn from_json(value: &Json) -> Result<Self, String> {
         let kind = kind_of(value, "strategy")?;
         let allowed: &[&str] = match kind {
-            "full" => &["kind", "delta", "f", "c"],
+            "full" | "full-dense" => &["kind", "delta", "f", "c"],
             "simple" => &["kind", "delta", "f"],
             "async" => &["kind", "delta", "f", "latency"],
             "weighted" => &["kind", "delta", "f", "speeds"],
@@ -406,6 +423,11 @@ impl FromJson for StrategyConfig {
         dlb_json::reject_unknown(value, allowed)?;
         match kind {
             "full" => Ok(StrategyConfig::Full {
+                delta: dlb_json::req(value, "delta")?,
+                f: dlb_json::req(value, "f")?,
+                c: dlb_json::field_or(value, "c", default_c())?,
+            }),
+            "full-dense" => Ok(StrategyConfig::FullDense {
                 delta: dlb_json::req(value, "delta")?,
                 f: dlb_json::req(value, "f")?,
                 c: dlb_json::field_or(value, "c", default_c())?,
@@ -737,6 +759,7 @@ mod tests {
     fn all_strategy_kinds_parse() {
         for kind in [
             r#"{"kind": "full", "delta": 2, "f": 1.3}"#,
+            r#"{"kind": "full-dense", "delta": 2, "f": 1.3, "c": 4}"#,
             r#"{"kind": "simple", "delta": 1, "f": 1.1}"#,
             r#"{"kind": "async", "delta": 2, "f": 1.3, "latency": 8}"#,
             r#"{"kind": "async", "delta": 2, "f": 1.3}"#,

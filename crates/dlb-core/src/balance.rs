@@ -68,13 +68,17 @@ pub fn distribute_classes_flat_with(
         }
         if extras > 0 {
             order.sort_unstable_by_key(|&s| (running[s], s));
-            for &s in order.iter().take(extras) {
+            for &s in &order[..extras] {
                 row[s] += 1;
             }
         }
         if base > 0 || extras > 0 {
-            for (s, &share) in row.iter().enumerate() {
-                running[s] += share;
+            // `zip` instead of indexing: the accumulation runs once per
+            // (class, member) pair and is the hottest loop in a balance
+            // op; pairing the slices lets the compiler drop the
+            // per-element bounds checks.
+            for (r, &share) in running.iter_mut().zip(row.iter()) {
+                *r += share;
             }
         }
     }
@@ -126,9 +130,16 @@ pub fn distribute_capped_into(total: u64, caps: &[u64], out: &mut Vec<u64>) {
     out.resize(caps.len(), 0);
     let mut remaining = total;
     while remaining > 0 {
-        let idx = (0..caps.len())
-            .filter(|&s| out[s] < caps[s])
-            .min_by_key(|&s| (out[s], s))
+        // One zipped min-scan per unit instead of indexed probes: the
+        // filter and key would otherwise each re-check bounds on both
+        // slices for every candidate.
+        let idx = out
+            .iter()
+            .zip(caps.iter())
+            .enumerate()
+            .filter(|&(_, (&o, &c))| o < c)
+            .min_by_key(|&(s, (&o, _))| (o, s))
+            .map(|(s, _)| s)
             .expect("aggregate capacity checked above");
         out[idx] += 1;
         remaining -= 1;

@@ -1,70 +1,83 @@
-//! The full n-processor-generator-consumer algorithm (§4 and the paper's
-//! appendix).
+//! The flat-arena (dense) engine for the full algorithm, retained as the
+//! equivalence oracle for the sparse [`crate::Cluster`].
 //!
-//! Every processor `i` holds, besides its real packets, the bookkeeping
-//! the proof of Theorem 4 needs:
+//! This is the PR 4–6 engine verbatim: `d`/`b` live in flat row-major
+//! n×n arenas with sorted active-class lists alongside, so class scans
+//! cost O(active) but memory costs O(n²) — which caps it near n = 4096.
+//! [`crate::Cluster`] replaces the arenas with compressed per-processor
+//! rows ([`crate::sparse::SparseRow`]) and must stay *bit identical* to
+//! this engine: same RNG consumption, same loads, metrics and trace
+//! events (enforced by the `sparse_equivalence` proptests and the
+//! benchmark fingerprint cross-checks at overlapping n).  The naive
+//! per-struct reference oracle is [`crate::reference`]; this engine sits
+//! between it and the sparse one in the equivalence chain and keeps the
+//! wave executor, so `step_jobs` identity is cross-checked on both
+//! representations.
 //!
-//! * `d_{i,j}` — the number of *virtual class-`j`* packets residing on
-//!   `i` (class `j` = packets generated by processor `j`);  the real load
-//!   is `l_i = Σ_j d_{i,j}`;
-//! * `b_{i,j}` — *borrowed-packet markers*: class-`j` packets `i` consumed
-//!   even though it had no self-generated work (`d_{i,i} = 0`), bounded by
-//!   `Σ_j b_{i,j} ≤ C` and at most one fresh borrow per class.
-//!
-//! A balancing operation is initiated by `i` whenever `d_{i,i}` has grown
-//! or shrunk by the factor `f` since `i`'s last participation; it equalises
-//! the real loads *and* the `d`/`b` matrices of `δ + 1` processors within
-//! ±1 per class and ±1 in total (the "snake" distribution of the appendix,
-//! implemented in [`crate::balance`]).
-//!
-//! Borrow settlement follows §4: when a processor's borrow capacity is
-//! exhausted it contacts the generator `j` of one of its markers; if `j`
-//! still owns self-generated packets they are *exchanged* against the
-//! markers and `j` simulates a workload decrease; otherwise the
-//! reduce-borrow procedure balances load class `j` over a random
-//! neighbourhood until the marker can be settled.
-//!
-//! Deviation from the appendix (documented in DESIGN.md): the literal
-//! exchange rule `x = min{d_{j,j}, Σ_k b_{i,k}}` lets class-`j` packets
-//! cancel markers of *other* classes; [`ExchangePolicy::Strict`] (the
-//! default) restricts settlement to class-`j` markers, which is what the
-//! per-class expected-value argument actually uses.  Both are implemented.
-//!
-//! # Representation
-//!
-//! The `d`/`b` matrices are stored *sparsely*: each processor keeps one
-//! [`SparseRow`] per matrix — a sorted list of active class ids with a
-//! parallel value arena.  In any reachable state a processor holds
-//! packets of few classes (its own plus what balancing brought in), so
-//! a row operation costs O(active) or O(log active) and the whole
-//! cluster costs O(n + Σ active) memory instead of the O(n²) the flat
-//! arenas of [`crate::dense::DenseCluster`] pay; that is what makes
-//! n ≥ 2¹⁸ full-model runs tractable (see DESIGN.md §10 and the
-//! `large` rows of BENCH_core.json).  Cached per-processor sums
-//! (`load`, `sum_b`) are maintained incrementally on every insert and
-//! remove.  All balancing paths write into scratch buffers owned by the
-//! cluster — steady-state operation performs no heap allocation beyond
-//! amortised row growth.  The behaviour is *bit identical* to both the
-//! dense engine and the naive reference implementation retained in
-//! [`crate::reference`]: same RNG consumption, same loads, metrics and
-//! trace events (enforced by the `sparse_equivalence` and
-//! `opt_equivalence` proptests and the benchmark checksums).  The RNG
-//! contract is the subtle part: every random class choice must scan
-//! candidates in ascending class order exactly like the reference's
-//! dense `0..n` filter-then-nth sweep — the sorted key lists make that
-//! order intrinsic.
+//! Algorithm documentation lives on [`crate::cluster`]; this file
+//! intentionally mirrors its structure line for line so diffs between
+//! the two engines stay reviewable.
 
 use crate::balance::{
     distribute_capped_into, distribute_classes_flat_with, even_shares_into, moved,
 };
 use crate::metrics::Metrics;
 use crate::params::{ExchangePolicy, Params};
-use crate::sparse::{count_diff, merge_sorted_into, nth_diff, SparseRow};
 use crate::strategy::{LoadBalancer, LoadEvent};
 use dlb_pool::par_map;
 use dlb_trace::{SharedSink, TraceEvent};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+
+/// Inserts `v` into a sorted list if absent.
+#[inline]
+fn insert_sorted(list: &mut Vec<u32>, v: u32) {
+    if let Err(pos) = list.binary_search(&v) {
+        list.insert(pos, v);
+    }
+}
+
+/// Removes `v` from a sorted list if present.
+#[inline]
+fn remove_sorted(list: &mut Vec<u32>, v: u32) {
+    if let Ok(pos) = list.binary_search(&v) {
+        list.remove(pos);
+    }
+}
+
+/// Merges sorted `src` into sorted `dst` (set union) using `buf` as
+/// scratch.  Linear in `dst.len() + src.len()`.
+fn merge_sorted_into(dst: &mut Vec<u32>, src: &[u32], buf: &mut Vec<u32>) {
+    if src.is_empty() {
+        return;
+    }
+    if dst.is_empty() {
+        dst.extend_from_slice(src);
+        return;
+    }
+    buf.clear();
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < dst.len() && b < src.len() {
+        match dst[a].cmp(&src[b]) {
+            std::cmp::Ordering::Less => {
+                buf.push(dst[a]);
+                a += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                buf.push(src[b]);
+                b += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                buf.push(dst[a]);
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    buf.extend_from_slice(&dst[a..]);
+    buf.extend_from_slice(&src[b..]);
+    std::mem::swap(dst, buf);
+}
 
 /// Scratch buffers for executing one full balance operation.  Each
 /// executing thread owns a set (thread-local on pool workers), so the
@@ -74,11 +87,6 @@ use rand_chacha::ChaCha8Rng;
 struct BalanceScratch {
     totals_d: Vec<u64>,
     totals_b: Vec<u64>,
-    /// Member-major marker values aligned to the class union
-    /// (`vals_b[si * union.len() + ci]`), filled during the totals walk
-    /// so the post-distribution marker-movement count needs no row
-    /// lookups.
-    vals_b: Vec<u64>,
     shares_d: Vec<u64>,
     shares_b: Vec<u64>,
     union: Vec<u32>,
@@ -110,15 +118,19 @@ struct OpOutcome {
 /// Raw per-processor view of the state a balance operation touches.
 ///
 /// Operations within one wave have pairwise-disjoint member sets (the
-/// wave planner in [`Cluster::flush_pending`] enforces it), so
-/// concurrent executors write disjoint sparse rows and per-processor
-/// entries — which is what makes the `Send`/`Sync` impls sound.
+/// wave planner in [`DenseCluster::flush_pending`] enforces it), so
+/// concurrent executors write disjoint arena rows, active lists and
+/// per-processor entries — which is what makes the `Send`/`Sync` impls
+/// sound.
 struct ArenaView {
-    d: *mut SparseRow,
-    b: *mut SparseRow,
+    n: usize,
+    d: *mut u64,
+    b: *mut u64,
     load: *mut u64,
     sum_b: *mut u64,
     l_old: *mut u64,
+    active_d: *mut Vec<u32>,
+    active_b: *mut Vec<u32>,
     settled: *mut u64,
 }
 
@@ -127,7 +139,7 @@ unsafe impl Sync for ArenaView {}
 
 /// Executes one full balancing operation over `members` (initiator
 /// first) through the raw view: the body of the appendix's equalisation,
-/// hoisted out of [`Cluster::full_balance`] so the sequential path and
+/// hoisted out of [`DenseCluster::full_balance`] so the sequential path and
 /// the wave executor share one implementation and cannot drift apart.
 /// Consumes no RNG and emits nothing — it returns an [`OpOutcome`] the
 /// caller folds in trigger order.
@@ -142,6 +154,7 @@ unsafe fn execute_full_balance(
     tracing: bool,
     s: &mut BalanceScratch,
 ) -> OpOutcome {
+    let n = view.n;
     let m = members.len();
     let initiator = members[0];
     // The f-factor ratio that fired the trigger.  The initiator's row is
@@ -149,8 +162,7 @@ unsafe fn execute_full_balance(
     // it would have been flushed before its event was processed), so
     // this read equals the draw-time value.
     let trigger = if tracing {
-        (*view.d.add(initiator)).get(initiator as u32) as f64
-            / (*view.l_old.add(initiator)).max(1) as f64
+        *view.d.add(initiator * n + initiator) as f64 / (*view.l_old.add(initiator)).max(1) as f64
     } else {
         0.0
     };
@@ -160,35 +172,17 @@ unsafe fn execute_full_balance(
     // totals — bit-identical to the reference's dense 0..n sweep.
     s.union.clear();
     for &mm in members {
-        merge_sorted_into(&mut s.union, (*view.d.add(mm)).keys(), &mut s.merge);
-        merge_sorted_into(&mut s.union, (*view.b.add(mm)).keys(), &mut s.merge);
+        merge_sorted_into(&mut s.union, &*view.active_d.add(mm), &mut s.merge);
+        merge_sorted_into(&mut s.union, &*view.active_b.add(mm), &mut s.merge);
     }
-    let ulen = s.union.len();
     s.totals_d.clear();
-    s.totals_d.resize(ulen, 0);
     s.totals_b.clear();
-    s.totals_b.resize(ulen, 0);
-    s.vals_b.clear();
-    s.vals_b.resize(m * ulen, 0);
-    for (si, &mm) in members.iter().enumerate() {
-        // Each member row's keys are a subset of the union, so a
-        // two-pointer walk accumulates the per-class totals in
-        // O(active) without any binary searches.
-        let mut ui = 0;
-        for (c, v) in (*view.d.add(mm)).iter() {
-            while s.union[ui] != c {
-                ui += 1;
-            }
-            s.totals_d[ui] += v;
-        }
-        let mut ui = 0;
-        for (c, v) in (*view.b.add(mm)).iter() {
-            while s.union[ui] != c {
-                ui += 1;
-            }
-            s.totals_b[ui] += v;
-            s.vals_b[si * ulen + ui] = v;
-        }
+    for &c in &s.union {
+        let c = c as usize;
+        s.totals_d
+            .push(members.iter().map(|&mm| *view.d.add(mm * n + c)).sum());
+        s.totals_b
+            .push(members.iter().map(|&mm| *view.b.add(mm * n + c)).sum());
     }
     let mut run_d = [0u64; 64];
     let mut run_b = [0u64; 64];
@@ -206,28 +200,31 @@ unsafe fn execute_full_balance(
         op_packets += (*view.load.add(mm)).saturating_sub(run_d[si]);
     }
     let mut op_markers = 0u64;
-    for ci in 0..ulen {
+    for (ci, &c) in s.union.iter().enumerate() {
         let row = &s.shares_b[ci * m..(ci + 1) * m];
-        for (si, &share) in row.iter().enumerate() {
-            op_markers += s.vals_b[si * ulen + ci].saturating_sub(share);
+        let c = c as usize;
+        for (si, &mm) in members.iter().enumerate() {
+            op_markers += (*view.b.add(mm * n + c)).saturating_sub(row[si]);
         }
     }
     for (si, &mm) in members.iter().enumerate() {
-        // Every member's previously-active classes are in the union, so
-        // rebuilding the rows from the union's nonzero shares (pushed in
-        // ascending class order) covers the full row.
-        let rd = &mut *view.d.add(mm);
-        rd.clear();
-        let rb = &mut *view.b.add(mm);
-        rb.clear();
+        // Every member's previously-active classes are in the union,
+        // so writing the union's shares (and rebuilding the active
+        // lists from the nonzero ones) covers the full row.
+        let ad = &mut *view.active_d.add(mm);
+        ad.clear();
+        let ab = &mut *view.active_b.add(mm);
+        ab.clear();
         for (ci, &c) in s.union.iter().enumerate() {
             let vd = s.shares_d[ci * m + si];
+            *view.d.add(mm * n + c as usize) = vd;
             if vd > 0 {
-                rd.push(c, vd);
+                ad.push(c);
             }
             let vb = s.shares_b[ci * m + si];
+            *view.b.add(mm * n + c as usize) = vb;
             if vb > 0 {
-                rb.push(c, vb);
+                ab.push(c);
             }
         }
         *view.load.add(mm) = run_d[si];
@@ -238,13 +235,16 @@ unsafe fn execute_full_balance(
     // home markers annihilate and l_old resets.
     let mut home_settled = 0u64;
     for &mm in members {
-        let k = (*view.b.add(mm)).take(mm as u32);
+        let cell = view.b.add(mm * n + mm);
+        let k = *cell;
         if k > 0 {
+            *cell = 0;
+            remove_sorted(&mut *view.active_b.add(mm), mm as u32);
             *view.sum_b.add(mm) -= k;
             *view.settled.add(mm) += k;
             home_settled += k;
         }
-        *view.l_old.add(mm) = (*view.d.add(mm)).get(mm as u32);
+        *view.l_old.add(mm) = *view.d.add(mm * n + mm);
     }
     OpOutcome {
         trigger,
@@ -258,20 +258,24 @@ unsafe fn execute_full_balance(
 ///
 /// Deterministic: all randomness (partner choice, class choice) comes from
 /// a seeded ChaCha stream.
-pub struct Cluster {
+pub struct DenseCluster {
     params: Params,
     /// Cached `params.n()`.
     n: usize,
-    /// Sparse `d_{i,·}` rows, one per processor.
-    d: Vec<SparseRow>,
-    /// Sparse `b_{i,·}` rows, one per processor.
-    b: Vec<SparseRow>,
+    /// Flat row-major `d_{i,j}` arena: `d[i * n + j]`.
+    d: Vec<u64>,
+    /// Flat row-major `b_{i,j}` arena.
+    b: Vec<u64>,
     /// Cached real loads `Σ_j d_{i,j}`.
     load: Vec<u64>,
     /// Cached marker counts `Σ_j b_{i,j}`.
     sum_b: Vec<u64>,
     /// Self-generated load `d_{i,i}` at the last balancing participation.
     l_old: Vec<u64>,
+    /// Sorted classes `j` with `d_{i,j} > 0`, per processor.
+    active_d: Vec<Vec<u32>>,
+    /// Sorted classes `j` with `b_{i,j} > 0`, per processor.
+    active_b: Vec<Vec<u32>>,
     rng: ChaCha8Rng,
     metrics: Metrics,
     /// Ledger: fresh class-`j` packets generated (excluding marker
@@ -317,7 +321,7 @@ pub struct Cluster {
     /// Per-processor flag: member of some queued operation.
     pending_member: Vec<bool>,
     /// Wave-planning scratch: 1 + index of the last wave touching a
-    /// processor (zeroed outside [`Cluster::flush_pending`]).
+    /// processor (zeroed outside [`DenseCluster::flush_pending`]).
     wave_mark: Vec<u32>,
     /// Balance scratch for the sequential/eager execution path (wave
     /// workers use a thread-local set instead).
@@ -327,7 +331,7 @@ pub struct Cluster {
     scratch_outcomes: Vec<OpOutcome>,
 }
 
-impl Cluster {
+impl DenseCluster {
     /// An empty cluster (all loads zero).
     pub fn new(params: Params, seed: u64) -> Self {
         Self::with_initial_load(params, seed, 0)
@@ -337,17 +341,26 @@ impl Cluster {
     /// packets (a *balanced state* in the sense of Theorems 1–4).
     pub fn with_initial_load(params: Params, seed: u64, initial: u64) -> Self {
         let n = params.n();
-        let d: Vec<SparseRow> = (0..n)
-            .map(|i| SparseRow::with_entry(i as u32, initial))
-            .collect();
-        Cluster {
+        let mut d = vec![0u64; n * n];
+        let mut active_d = Vec::with_capacity(n);
+        for i in 0..n {
+            d[i * n + i] = initial;
+            active_d.push(if initial > 0 {
+                vec![i as u32]
+            } else {
+                Vec::new()
+            });
+        }
+        DenseCluster {
             params,
             n,
             d,
-            b: vec![SparseRow::new(); n],
+            b: vec![0u64; n * n],
             load: vec![initial; n],
             sum_b: vec![0; n],
             l_old: vec![initial; n],
+            active_d,
+            active_b: vec![Vec::new(); n],
             rng: ChaCha8Rng::seed_from_u64(seed),
             metrics: Metrics::new(),
             fresh_generated: vec![initial; n],
@@ -407,97 +420,77 @@ impl Cluster {
 
     /// Virtual class-`c` load on processor `i`: `d_{i,c} + b_{i,c}`.
     pub fn class_load(&self, i: usize, c: usize) -> u64 {
-        self.d[i].get(c as u32) + self.b[i].get(c as u32)
+        self.d[i * self.n + c] + self.b[i * self.n + c]
     }
 
     /// `d_{i,c}`: real class-`c` packets on processor `i`.
     pub fn d(&self, i: usize, c: usize) -> u64 {
-        self.d[i].get(c as u32)
+        self.d[i * self.n + c]
     }
 
     /// `b_{i,c}`: class-`c` markers on processor `i`.
     pub fn b(&self, i: usize, c: usize) -> u64 {
-        self.b[i].get(c as u32)
+        self.b[i * self.n + c]
     }
 
-    /// Number of active (nonzero) classes on processor `i`, `d` then `b`.
-    pub fn active_classes(&self, i: usize) -> (usize, usize) {
-        (self.d[i].len(), self.b[i].len())
-    }
-
-    /// Heap bytes the algorithm state currently occupies: sparse rows
-    /// (at reserved capacity) plus every O(n) side vector.  This is the
-    /// number the `mem_bytes_per_proc` column of BENCH_core.json
-    /// reports — it scales with n + Σ active classes, not n².
-    pub fn state_bytes(&self) -> usize {
-        let rows: usize = self
-            .d
-            .iter()
-            .chain(self.b.iter())
-            .map(|r| r.heap_bytes())
-            .sum();
-        let row_headers =
-            std::mem::size_of::<SparseRow>() * (self.d.capacity() + self.b.capacity());
-        let u64_vecs = 8
-            * (self.load.capacity()
-                + self.sum_b.capacity()
-                + self.l_old.capacity()
-                + self.fresh_generated.capacity()
-                + self.direct_consumed.capacity()
-                + self.settled.capacity());
-        rows + row_headers
-            + u64_vecs
-            + self.pending_member.capacity()
-            + 4 * self.wave_mark.capacity()
-    }
-
-    /// Adds `x > 0` class-`c` packets to `i`.
+    /// Adds `x > 0` class-`c` packets to `i`, maintaining the active list.
     #[inline]
     fn add_d(&mut self, i: usize, c: usize, x: u64) {
-        self.d[i].add(c as u32, x);
+        let cell = &mut self.d[i * self.n + c];
+        if *cell == 0 {
+            insert_sorted(&mut self.active_d[i], c as u32);
+        }
+        *cell += x;
     }
 
     /// Removes `x > 0` class-`c` packets from `i`.
     #[inline]
     fn sub_d(&mut self, i: usize, c: usize, x: u64) {
-        self.d[i].sub(c as u32, x);
+        let cell = &mut self.d[i * self.n + c];
+        *cell -= x;
+        if *cell == 0 {
+            remove_sorted(&mut self.active_d[i], c as u32);
+        }
     }
 
     /// Adds `x > 0` class-`c` markers to `i`.
     #[inline]
     fn add_b(&mut self, i: usize, c: usize, x: u64) {
-        self.b[i].add(c as u32, x);
+        let cell = &mut self.b[i * self.n + c];
+        if *cell == 0 {
+            insert_sorted(&mut self.active_b[i], c as u32);
+        }
+        *cell += x;
     }
 
     /// Removes `x > 0` class-`c` markers from `i`.
     #[inline]
     fn sub_b(&mut self, i: usize, c: usize, x: u64) {
-        self.b[i].sub(c as u32, x);
+        let cell = &mut self.b[i * self.n + c];
+        *cell -= x;
+        if *cell == 0 {
+            remove_sorted(&mut self.active_b[i], c as u32);
+        }
     }
 
     /// Verifies every structural invariant of the algorithm — including
-    /// the sparse rows' internal soundness — and returns a description
-    /// of the first violation.  O(n + Σ active): cheap enough that tests
-    /// call it after every step even at large n.
+    /// consistency of the active-class lists with the arenas — and returns
+    /// a description of the first violation.  Used extensively in tests —
+    /// `O(n²)`, so not called from the hot path.
     pub fn check_invariants(&self) -> Result<(), String> {
         let n = self.n;
         let c_borrow = self.params.c_borrow() as u64;
-        let mut virt = vec![0u64; n];
         for i in 0..n {
-            self.d[i]
-                .check()
-                .map_err(|e| format!("proc {i}: d row: {e}"))?;
-            self.b[i]
-                .check()
-                .map_err(|e| format!("proc {i}: b row: {e}"))?;
-            let sum_d = self.d[i].sum();
+            let row_d = &self.d[i * n..(i + 1) * n];
+            let row_b = &self.b[i * n..(i + 1) * n];
+            let sum_d: u64 = row_d.iter().sum();
             if sum_d != self.load[i] {
                 return Err(format!(
                     "proc {i}: load cache {} != sum(d) {sum_d}",
                     self.load[i]
                 ));
             }
-            let sum_b = self.b[i].sum();
+            let sum_b: u64 = row_b.iter().sum();
             if sum_b != self.sum_b[i] {
                 return Err(format!(
                     "proc {i}: marker cache {} != sum(b) {sum_b}",
@@ -510,20 +503,33 @@ impl Cluster {
                     self.sum_b[i]
                 ));
             }
-            for (c, v) in self.d[i].iter() {
-                virt[c as usize] += v;
-            }
-            for (c, v) in self.b[i].iter() {
-                virt[c as usize] += v;
+            for (label, list, row) in [
+                ("active_d", &self.active_d[i], row_d),
+                ("active_b", &self.active_b[i], row_b),
+            ] {
+                if !list.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("proc {i}: {label} not strictly sorted"));
+                }
+                if list.iter().any(|&c| row[c as usize] == 0) {
+                    return Err(format!("proc {i}: {label} lists a zero entry"));
+                }
+                let nonzero = row.iter().filter(|&&v| v > 0).count();
+                if nonzero != list.len() {
+                    return Err(format!(
+                        "proc {i}: {label} tracks {} classes, arena has {nonzero}",
+                        list.len()
+                    ));
+                }
             }
         }
-        for (c, &v) in virt.iter().enumerate() {
+        for c in 0..n {
+            let virt: u64 = (0..n).map(|i| self.d[i * n + c] + self.b[i * n + c]).sum();
             let expect = self.fresh_generated[c]
                 .checked_sub(self.direct_consumed[c] + self.settled[c])
                 .ok_or_else(|| format!("class {c}: ledger went negative"))?;
-            if v != expect {
+            if virt != expect {
                 return Err(format!(
-                    "class {c}: virtual load {v} != fresh {} - consumed {} - settled {}",
+                    "class {c}: virtual load {virt} != fresh {} - consumed {} - settled {}",
                     self.fresh_generated[c], self.direct_consumed[c], self.settled[c]
                 ));
             }
@@ -543,10 +549,10 @@ impl Cluster {
         if self.sum_b[i] > 0 {
             // Repay a marker: the new packet takes the identity of a
             // borrowed class, restoring its real packet.  Uniform over the
-            // marked classes = uniform index into the sorted key list
+            // marked classes = uniform index into the sorted active list
             // (ascending order matches the reference's nth-match scan).
-            let pick = self.rng.gen_range(0..self.b[i].len());
-            let j = self.b[i].keys()[pick] as usize;
+            let pick = self.rng.gen_range(0..self.active_b[i].len());
+            let j = self.active_b[i][pick] as usize;
             self.sub_b(i, j, 1);
             self.sum_b[i] -= 1;
             self.add_d(i, j, 1);
@@ -564,7 +570,7 @@ impl Cluster {
             self.metrics.consume_blocked += 1;
             return;
         }
-        if self.d[i].get(i as u32) > 0 {
+        if self.d[i * self.n + i] > 0 {
             self.sub_d(i, i, 1);
             self.load[i] -= 1;
             self.direct_consumed[i] += 1;
@@ -582,7 +588,7 @@ impl Cluster {
         self.eager = false;
     }
 
-    /// The §4 settlement retry loop of [`Cluster::consume`].  Every
+    /// The §4 settlement retry loop of [`DenseCluster::consume`].  Every
     /// settlement attempt either frees a marker slot or hands `i` a
     /// borrowable (or own-class) packet, so C + 2 attempts always
     /// suffice; the bound is a safety net, with failures counted.
@@ -594,7 +600,7 @@ impl Cluster {
                 self.metrics.consume_blocked += 1;
                 return;
             }
-            if self.d[i].get(i as u32) > 0 {
+            if self.d[i * self.n + i] > 0 {
                 // Settlement balancing brought some of i's own packets home
                 // (§4: "... or has received some of his own load packets").
                 self.sub_d(i, i, 1);
@@ -620,7 +626,7 @@ impl Cluster {
             let Some(j) = self.random_marker_class(i) else {
                 break; // only possible when C = 0
             };
-            if self.d[j].get(j as u32) > 0 {
+            if self.d[j * self.n + j] > 0 {
                 self.exchange(i, j);
             } else {
                 self.reduce_borrow(i, j);
@@ -630,26 +636,34 @@ impl Cluster {
     }
 
     /// Picks a uniformly random class `j` of `i` with `d_{i,j} > 0` and
-    /// `b_{i,j} = 0` (a fresh borrow candidate).  The merge-walk over the
-    /// two sorted key lists visits candidates in ascending class order,
-    /// exactly like the reference's dense filter-then-nth scan, so RNG
-    /// consumption is identical.
+    /// `b_{i,j} = 0` (a fresh borrow candidate).  Scans the active-`d`
+    /// list in ascending class order, exactly like the reference's dense
+    /// filter-then-nth scan, so RNG consumption is identical.
     fn random_borrowable_class(&mut self, i: usize) -> Option<usize> {
-        let count = count_diff(self.d[i].keys(), self.b[i].keys());
+        let row_b = &self.b[i * self.n..(i + 1) * self.n];
+        let count = self.active_d[i]
+            .iter()
+            .filter(|&&j| row_b[j as usize] == 0)
+            .count();
         if count == 0 {
             return None;
         }
         let pick = self.rng.gen_range(0..count);
-        nth_diff(self.d[i].keys(), self.b[i].keys(), pick).map(|j| j as usize)
+        let row_b = &self.b[i * self.n..(i + 1) * self.n];
+        self.active_d[i]
+            .iter()
+            .filter(|&&j| row_b[j as usize] == 0)
+            .nth(pick)
+            .map(|&j| j as usize)
     }
 
     /// Picks a uniformly random class `j` of `i` with `b_{i,j} > 0`.
     fn random_marker_class(&mut self, i: usize) -> Option<usize> {
-        if self.b[i].is_empty() {
+        if self.active_b[i].is_empty() {
             return None;
         }
-        let pick = self.rng.gen_range(0..self.b[i].len());
-        Some(self.b[i].keys()[pick] as usize)
+        let pick = self.rng.gen_range(0..self.active_b[i].len());
+        Some(self.active_b[i][pick] as usize)
     }
 
     /// §4 exchange: settle markers held by `i` against real class-`j`
@@ -657,9 +671,9 @@ impl Cluster {
     /// corresponding workload decrease.
     fn exchange(&mut self, i: usize, j: usize) {
         debug_assert_ne!(i, j);
-        let available = self.d[j].get(j as u32);
+        let available = self.d[j * self.n + j];
         let x = match self.params.exchange() {
-            ExchangePolicy::Strict => available.min(self.b[i].get(j as u32)),
+            ExchangePolicy::Strict => available.min(self.b[i * self.n + j]),
             ExchangePolicy::Aggressive => available.min(self.sum_b[i]),
         };
         if x == 0 {
@@ -682,7 +696,7 @@ impl Cluster {
         }
         // ... and cancel x markers on i.
         let mut remaining = x;
-        let own = self.b[i].get(j as u32).min(remaining);
+        let own = self.b[i * self.n + j].min(remaining);
         if own > 0 {
             self.sub_b(i, j, own);
             self.sum_b[i] -= own;
@@ -692,10 +706,10 @@ impl Cluster {
         while remaining > 0 {
             // Aggressive policy: spill into markers of other classes, in
             // ascending class order (the reference's 0..n scan) — i.e.
-            // drain the front of the sorted key list.
-            debug_assert!(!self.b[i].is_empty(), "sum_b guarantees markers");
-            let k = self.b[i].keys()[0] as usize;
-            let take = self.b[i].vals()[0].min(remaining);
+            // drain the front of the sorted active list.
+            debug_assert!(!self.active_b[i].is_empty(), "sum_b guarantees markers");
+            let k = self.active_b[i][0] as usize;
+            let take = self.b[i * self.n + k].min(remaining);
             self.sub_b(i, k, take);
             self.sum_b[i] -= take;
             self.settled[k] += take;
@@ -714,7 +728,7 @@ impl Cluster {
     /// annihilate).
     fn reduce_borrow(&mut self, i: usize, j: usize) {
         debug_assert_ne!(i, j);
-        debug_assert_eq!(self.d[j].get(j as u32), 0);
+        debug_assert_eq!(self.d[j * self.n + j], 0);
         self.metrics.borrow_fail += 1;
         let mut candidates = std::mem::take(&mut self.scratch_partners);
         self.sample_partners_into(j, &mut candidates);
@@ -729,8 +743,8 @@ impl Cluster {
         } else {
             let helpful = candidates
                 .iter()
-                .any(|&k| self.d[k].get(j as u32) > 0 || self.b[k].get(j as u32) == 0)
-                || self.d[i].get(j as u32) > 0;
+                .any(|&k| self.d[k * self.n + j] > 0 || self.b[k * self.n + j] == 0)
+                || self.d[i * self.n + j] > 0;
             if helpful {
                 // Spread i's markers / gather real packets, then pull them
                 // towards j.
@@ -758,9 +772,9 @@ impl Cluster {
         self.scratch_group = group;
         self.scratch_partners = candidates;
         self.settle_home_markers(j);
-        if self.d[j].get(j as u32) > 0 && self.b[i].get(j as u32) > 0 {
+        if self.d[j * self.n + j] > 0 && self.b[i * self.n + j] > 0 {
             self.exchange(i, j);
-        } else if self.b[i].get(j as u32) > 0 {
+        } else if self.b[i * self.n + j] > 0 {
             // Guaranteed progress (§4: "the borrowed packet on processor i
             // has migrated to processor j where it is also consumed"): one
             // marker moves home and annihilates.  Without this the
@@ -797,9 +811,9 @@ impl Cluster {
         let mut new_d = std::mem::take(&mut self.scratch_new_d);
         let mut new_b = std::mem::take(&mut self.scratch_new_b);
         before_d.clear();
-        before_d.extend(members.iter().map(|&mm| self.d[mm].get(c as u32)));
+        before_d.extend(members.iter().map(|&mm| self.d[mm * self.n + c]));
         before_b.clear();
-        before_b.extend(members.iter().map(|&mm| self.b[mm].get(c as u32)));
+        before_b.extend(members.iter().map(|&mm| self.b[mm * self.n + c]));
         let total_d: u64 = before_d.iter().sum();
         let total_b: u64 = before_b.iter().sum();
         // A single class over zeroed running totals degenerates to the
@@ -834,9 +848,9 @@ impl Cluster {
         }
         for (s, &mm) in members.iter().enumerate() {
             self.load[mm] = self.load[mm] + new_d[s] - before_d[s];
-            self.d[mm].set(c as u32, new_d[s]);
+            self.set_d(mm, c, new_d[s]);
             self.sum_b[mm] = self.sum_b[mm] + new_b[s] - before_b[s];
-            self.b[mm].set(c as u32, new_b[s]);
+            self.set_b(mm, c, new_b[s]);
         }
         self.scratch_before_d = before_d;
         self.scratch_before_b = before_b;
@@ -845,119 +859,49 @@ impl Cluster {
         self.scratch_new_b = new_b;
     }
 
+    /// Absolute store into the `d` arena, maintaining the active list.
+    #[inline]
+    fn set_d(&mut self, i: usize, c: usize, v: u64) {
+        let cell = &mut self.d[i * self.n + c];
+        let old = *cell;
+        if old == v {
+            return;
+        }
+        *cell = v;
+        if old == 0 {
+            insert_sorted(&mut self.active_d[i], c as u32);
+        } else if v == 0 {
+            remove_sorted(&mut self.active_d[i], c as u32);
+        }
+    }
+
+    /// Absolute store into the `b` arena, maintaining the active list.
+    #[inline]
+    fn set_b(&mut self, i: usize, c: usize, v: u64) {
+        let cell = &mut self.b[i * self.n + c];
+        let old = *cell;
+        if old == v {
+            return;
+        }
+        *cell = v;
+        if old == 0 {
+            insert_sorted(&mut self.active_b[i], c as u32);
+        } else if v == 0 {
+            remove_sorted(&mut self.active_b[i], c as u32);
+        }
+    }
+
     /// Markers of class `m` residing on processor `m` annihilate: the
     /// earlier foreign consumption of `m`'s packets is finally accounted
     /// to `m`'s own load class.
     fn settle_home_markers(&mut self, m: usize) {
-        let k = self.b[m].take(m as u32);
+        let k = self.b[m * self.n + m];
         if k > 0 {
+            self.sub_b(m, m, k);
             self.sum_b[m] -= k;
             self.settled[m] += k;
             self.metrics.markers_settled += k;
         }
-    }
-
-    pub(crate) fn snapshot_impl(&self) -> crate::snapshot::ClusterSnapshot {
-        let n = self.n;
-        // The snapshot format stays dense (stable on-disk schema); the
-        // sparse rows densify row by row.
-        let densify =
-            |rows: &[SparseRow]| -> Vec<Vec<u64>> { rows.iter().map(|r| r.to_dense(n)).collect() };
-        crate::snapshot::ClusterSnapshot {
-            n,
-            delta: self.params.delta(),
-            f: self.params.f(),
-            c_borrow: self.params.c_borrow(),
-            exchange: self.params.exchange(),
-            d: densify(&self.d),
-            b: densify(&self.b),
-            l_old: self.l_old.clone(),
-            fresh_generated: self.fresh_generated.clone(),
-            direct_consumed: self.direct_consumed.clone(),
-            settled: self.settled.clone(),
-            initial_total: self.initial_total,
-            metrics: self.metrics,
-            rng_seed: self.rng.get_seed(),
-            rng_word_pos: self.rng.get_word_pos(),
-        }
-    }
-
-    pub(crate) fn restore_impl(snap: &crate::snapshot::ClusterSnapshot) -> Result<Cluster, String> {
-        let params = Params::new(snap.n, snap.delta, snap.f, snap.c_borrow)
-            .map_err(|e| e.to_string())?
-            .with_exchange(snap.exchange);
-        let n = snap.n;
-        let rows_ok = |m: &Vec<Vec<u64>>| m.len() == n && m.iter().all(|r| r.len() == n);
-        if !rows_ok(&snap.d) || !rows_ok(&snap.b) {
-            return Err("snapshot matrices have the wrong shape".into());
-        }
-        if snap.l_old.len() != n
-            || snap.fresh_generated.len() != n
-            || snap.direct_consumed.len() != n
-            || snap.settled.len() != n
-        {
-            return Err("snapshot vectors have the wrong length".into());
-        }
-        let compress = |rows: &Vec<Vec<u64>>| -> (Vec<SparseRow>, Vec<u64>) {
-            let mut sparse = Vec::with_capacity(n);
-            let mut sums = Vec::with_capacity(n);
-            for row in rows {
-                let mut r = SparseRow::new();
-                for (c, &v) in row.iter().enumerate() {
-                    if v > 0 {
-                        r.push(c as u32, v);
-                    }
-                }
-                sums.push(row.iter().sum());
-                sparse.push(r);
-            }
-            (sparse, sums)
-        };
-        let (d, load) = compress(&snap.d);
-        let (b, sum_b) = compress(&snap.b);
-        let mut rng = ChaCha8Rng::from_seed(snap.rng_seed);
-        rng.set_word_pos(snap.rng_word_pos);
-        let cluster = Cluster {
-            params,
-            n,
-            d,
-            b,
-            load,
-            sum_b,
-            l_old: snap.l_old.clone(),
-            rng,
-            metrics: snap.metrics,
-            fresh_generated: snap.fresh_generated.clone(),
-            direct_consumed: snap.direct_consumed.clone(),
-            settled: snap.settled.clone(),
-            initial_total: snap.initial_total,
-            scratch_members: Vec::new(),
-            scratch_partners: Vec::new(),
-            scratch_group: Vec::new(),
-            scratch_sample: Vec::new(),
-            scratch_before_d: Vec::new(),
-            scratch_before_b: Vec::new(),
-            scratch_caps: Vec::new(),
-            scratch_new_d: Vec::new(),
-            scratch_new_b: Vec::new(),
-            // Sinks, the step clock and the wave executor are run-local
-            // observer/driver state, not algorithm state — a restored
-            // cluster starts untraced and sequential.
-            sink: None,
-            step_no: 0,
-            step_jobs: 1,
-            wave_threshold: crate::strategy::DEFAULT_WAVE_THRESHOLD,
-            eager: false,
-            pending_members: Vec::new(),
-            pending_member: vec![false; n],
-            wave_mark: vec![0; n],
-            scratch_wave: BalanceScratch::default(),
-            scratch_wave_of: Vec::new(),
-            scratch_wave_ops: Vec::new(),
-            scratch_outcomes: Vec::new(),
-        };
-        cluster.check_invariants()?;
-        Ok(cluster)
     }
 
     /// Uniform `δ`-subset of processors other than `who`, written into a
@@ -986,7 +930,7 @@ impl Cluster {
     /// load has grown or shrunk by the factor `f` since its last
     /// participation.
     fn trigger_check(&mut self, i: usize) {
-        let cur = self.d[i].get(i as u32);
+        let cur = self.d[i * self.n + i];
         let last = self.l_old[i];
         if self.params.grow_triggered(cur, last) || self.params.shrink_triggered(cur, last) {
             self.full_balance(i);
@@ -999,7 +943,7 @@ impl Cluster {
     ///
     /// The operation is *drawn* here — partner sampling, the only RNG it
     /// consumes — and, with `step_jobs > 1`, queued for wave execution
-    /// (see [`Cluster::flush_pending`]).  Everything after the draw
+    /// (see [`DenseCluster::flush_pending`]).  Everything after the draw
     /// touches only the δ + 1 members' state, so member-disjoint
     /// operations commute bit-exactly and deferral is invisible.
     /// Sequential mode and settlement-path balances (`eager`) execute
@@ -1039,11 +983,14 @@ impl Cluster {
     /// wave execution the cluster is only touched through the view.
     fn arena_view(&mut self) -> ArenaView {
         ArenaView {
+            n: self.n,
             d: self.d.as_mut_ptr(),
             b: self.b.as_mut_ptr(),
             load: self.load.as_mut_ptr(),
             sum_b: self.sum_b.as_mut_ptr(),
             l_old: self.l_old.as_mut_ptr(),
+            active_d: self.active_d.as_mut_ptr(),
+            active_b: self.active_b.as_mut_ptr(),
             settled: self.settled.as_mut_ptr(),
         }
     }
@@ -1177,7 +1124,7 @@ impl Cluster {
     }
 }
 
-impl LoadBalancer for Cluster {
+impl LoadBalancer for DenseCluster {
     fn n(&self) -> usize {
         self.n
     }
@@ -1239,7 +1186,7 @@ impl LoadBalancer for Cluster {
     }
 
     fn name(&self) -> &'static str {
-        "spaa93-full"
+        "spaa93-full-dense"
     }
 
     fn set_trace_sink(&mut self, sink: SharedSink) {
@@ -1259,8 +1206,8 @@ impl LoadBalancer for Cluster {
 mod tests {
     use super::*;
 
-    fn run_random(params: Params, seed: u64, steps: usize, p_gen: f64, p_con: f64) -> Cluster {
-        let mut cluster = Cluster::new(params, seed);
+    fn run_random(params: Params, seed: u64, steps: usize, p_gen: f64, p_con: f64) -> DenseCluster {
+        let mut cluster = DenseCluster::new(params, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfeed);
         let n = params.n();
         for _ in 0..steps {
@@ -1281,123 +1228,19 @@ mod tests {
         cluster
     }
 
-    #[test]
-    fn inlined_partner_sampling_matches_vendored_sample() {
-        // sample_partners_into re-implements rand::seq::index::sample to
-        // avoid its allocation; the two must stay in lockstep (same RNG
-        // draws, same picks) or determinism silently breaks.
-        for seed in 0..20u64 {
-            let params = Params::new(16, 4, 1.3, 4).unwrap();
-            let mut cluster = Cluster::new(params, seed);
-            let mut out = Vec::new();
-            cluster.sample_partners_into(5, &mut out);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let expect: Vec<usize> = rand::seq::index::sample(&mut rng, 15, 4)
-                .iter()
-                .map(|x| if x >= 5 { x + 1 } else { x })
-                .collect();
-            assert_eq!(out, expect, "seed {seed}");
-        }
-    }
+    // The exhaustive behavioural suite lives on the sparse `Cluster`
+    // (crate::cluster::tests) and the cross-engine proptests in
+    // tests/sparse_equivalence.rs; here only the dense engine's own
+    // invariants and its wave executor are smoke-checked.
 
     #[test]
-    fn generation_only_stays_invariant_and_balanced() {
-        let params = Params::paper_section7(8);
-        let mut cluster = Cluster::new(params, 1);
-        let events = vec![LoadEvent::Generate; 8];
-        for _ in 0..200 {
-            cluster.step(&events);
+    fn mixed_workload_keeps_all_invariants() {
+        for seed in 0..3 {
+            let params = Params::paper_section7(16);
+            let cluster = run_random(params, seed, 400, 0.45, 0.45);
             cluster.check_invariants().unwrap();
+            assert_eq!(cluster.metrics().consume_failed, 0, "seed {seed}");
         }
-        let loads = cluster.loads();
-        assert_eq!(loads.iter().sum::<u64>(), 8 * 200);
-        // Every processor generated equally; the balancer keeps spread low.
-        let stats = crate::strategy::imbalance_stats(&loads);
-        assert!(stats.max_over_mean < 1.5, "stats: {stats:?}");
-    }
-
-    #[test]
-    fn one_producer_spreads_load_through_network() {
-        let params = Params::new(16, 2, 1.3, 4).unwrap();
-        let mut cluster = Cluster::new(params, 7);
-        let mut events = vec![LoadEvent::Idle; 16];
-        events[0] = LoadEvent::Generate;
-        for _ in 0..2000 {
-            cluster.step(&events);
-        }
-        cluster.check_invariants().unwrap();
-        let loads = cluster.loads();
-        assert_eq!(loads.iter().sum::<u64>(), 2000);
-        // Everyone received work.
-        assert!(loads.iter().all(|&l| l > 0), "{loads:?}");
-        // Theorem 3 flavour: producer within a small factor of the others.
-        let others_mean = loads[1..].iter().sum::<u64>() as f64 / 15.0;
-        let ratio = loads[0] as f64 / others_mean;
-        assert!(ratio < 3.0, "producer ratio {ratio}");
-    }
-
-    #[test]
-    fn consume_without_load_is_blocked() {
-        let params = Params::paper_section7(4);
-        let mut cluster = Cluster::new(params, 3);
-        cluster.step(&[
-            LoadEvent::Consume,
-            LoadEvent::Idle,
-            LoadEvent::Idle,
-            LoadEvent::Idle,
-        ]);
-        assert_eq!(cluster.metrics().consume_blocked, 1);
-        assert_eq!(cluster.metrics().consumed, 0);
-        cluster.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn borrowing_kicks_in_for_consumer_without_own_class() {
-        // Processor 1 never generates but receives migrated class-0 load;
-        // consuming it must go through the borrow machinery.
-        let params = Params::new(4, 1, 1.1, 4).unwrap();
-        let mut cluster = Cluster::new(params, 11);
-        // Build up load from processor 0.
-        let mut gen = vec![LoadEvent::Idle; 4];
-        gen[0] = LoadEvent::Generate;
-        for _ in 0..400 {
-            cluster.step(&gen);
-        }
-        assert!(cluster.load(1) > 0, "balancing moved work to processor 1");
-        let mut con = vec![LoadEvent::Idle; 4];
-        con[1] = LoadEvent::Consume;
-        for _ in 0..50 {
-            cluster.step(&con);
-            cluster.check_invariants().unwrap();
-        }
-        assert!(
-            cluster.metrics().total_borrow > 0,
-            "borrows: {:?}",
-            cluster.metrics()
-        );
-        assert_eq!(cluster.metrics().consume_failed, 0);
-    }
-
-    #[test]
-    fn exchange_settles_markers_against_generator() {
-        let params = Params::new(4, 1, 1.1, 2).unwrap();
-        let mut cluster = Cluster::new(params, 5);
-        let mut gen = vec![LoadEvent::Idle; 4];
-        gen[0] = LoadEvent::Generate;
-        for _ in 0..600 {
-            cluster.step(&gen);
-        }
-        // Processor 1 consumes aggressively; with C = 2 it must exchange.
-        let mut con = vec![LoadEvent::Idle; 4];
-        con[1] = LoadEvent::Consume;
-        con[0] = LoadEvent::Generate;
-        for _ in 0..300 {
-            cluster.step(&con);
-            cluster.check_invariants().unwrap();
-        }
-        let m = cluster.metrics();
-        assert!(m.remote_borrow > 0, "exchanges happened: {m:?}");
-        assert!(m.decrease_sim >= m.remote_borrow);
     }
 
     #[test]
@@ -1410,31 +1253,11 @@ mod tests {
     }
 
     #[test]
-    fn mixed_workload_keeps_all_invariants() {
-        for seed in 0..5 {
-            let params = Params::paper_section7(16);
-            let cluster = run_random(params, seed, 500, 0.45, 0.45);
-            cluster.check_invariants().unwrap();
-            assert_eq!(cluster.metrics().consume_failed, 0, "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn deterministic_for_fixed_seed() {
-        let params = Params::paper_section7(8);
-        let a = run_random(params, 42, 300, 0.5, 0.3).loads();
-        let b = run_random(params, 42, 300, 0.5, 0.3).loads();
-        assert_eq!(a, b);
-        let c = run_random(params, 43, 300, 0.5, 0.3).loads();
-        assert_ne!(a, c, "different seeds should diverge");
-    }
-
-    #[test]
     fn step_jobs_is_bit_identical_to_sequential() {
         let params = Params::paper_section7(16);
         let seq = run_random(params, 91, 300, 0.45, 0.45);
-        for jobs in [2, 4, 8] {
-            let mut par = Cluster::new(params, 91);
+        for jobs in [2, 4] {
+            let mut par = DenseCluster::new(params, 91);
             par.set_step_jobs(jobs);
             let mut rng = ChaCha8Rng::seed_from_u64(91 ^ 0xfeed);
             for _ in 0..300 {
@@ -1459,176 +1282,10 @@ mod tests {
     }
 
     #[test]
-    fn marker_capacity_never_exceeded() {
-        let params = Params::new(8, 1, 1.1, 3).unwrap();
-        let mut cluster = Cluster::new(params, 9);
-        let mut rng = ChaCha8Rng::seed_from_u64(17);
-        for _ in 0..600 {
-            let events: Vec<LoadEvent> = (0..8)
-                .map(|_| {
-                    if rng.gen_bool(0.5) {
-                        LoadEvent::Generate
-                    } else {
-                        LoadEvent::Consume
-                    }
-                })
-                .collect();
-            cluster.step(&events);
-            for i in 0..8 {
-                let total_b: u64 = (0..8).map(|c| cluster.b(i, c)).sum();
-                assert!(total_b <= 3, "proc {i} holds {total_b} markers");
-            }
-        }
-        cluster.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn balanced_initial_load_consumable_to_zero() {
-        // Start loaded, consume everything: the borrow machinery must let
-        // every processor drain the system completely.
-        let params = Params::new(6, 1, 1.2, 4).unwrap();
-        let mut cluster = Cluster::with_initial_load(params, 2, 50);
-        let events = vec![LoadEvent::Consume; 6];
-        for _ in 0..400 {
-            cluster.step(&events);
-            cluster.check_invariants().unwrap();
-        }
-        assert_eq!(
-            cluster.loads().iter().sum::<u64>(),
-            0,
-            "{:?}",
-            cluster.loads()
-        );
-    }
-
-    #[test]
-    fn theorem4_style_ratio_stays_bounded() {
-        // Adversarial pattern: half the processors only generate, half only
-        // consume. Theorem 4: expected loads stay within
-        // f²·δ/(δ+1−f)·(other + C).
-        let params = Params::new(16, 4, 1.4, 4).unwrap();
-        let mut cluster = Cluster::new(params, 31);
-        let events: Vec<LoadEvent> = (0..16)
-            .map(|i| {
-                if i < 8 {
-                    LoadEvent::Generate
-                } else {
-                    LoadEvent::Consume
-                }
-            })
-            .collect();
-        for _ in 0..1500 {
-            cluster.step(&events);
-        }
-        cluster.check_invariants().unwrap();
-        let loads = cluster.loads();
-        let bounds = dlb_theory::TheoremBounds::for_params(params.algo());
-        let min = *loads.iter().min().unwrap() as f64;
-        let max = *loads.iter().max().unwrap() as f64;
-        // Single-run slack over the expectation bound.
-        assert!(
-            max <= 3.0 * bounds.theorem4_upper(min, params.c_borrow()),
-            "max {max}, min {min}, bound {}",
-            bounds.theorem4_upper(min, params.c_borrow())
-        );
-    }
-
-    #[test]
-    fn tracing_does_not_change_behaviour_and_deltas_reconstruct_metrics() {
+    fn deterministic_for_fixed_seed() {
         let params = Params::paper_section7(8);
-        let untraced = run_random(params, 77, 400, 0.45, 0.45);
-
-        let mut traced = Cluster::new(params, 77);
-        let buffer = dlb_trace::BufferSink::new();
-        traced.set_trace_sink(buffer.handle());
-        let mut rng = ChaCha8Rng::seed_from_u64(77 ^ 0xfeed);
-        for _ in 0..400 {
-            let events: Vec<LoadEvent> = (0..8)
-                .map(|_| {
-                    let x: f64 = rng.gen();
-                    if x < 0.45 {
-                        LoadEvent::Generate
-                    } else if x < 0.9 {
-                        LoadEvent::Consume
-                    } else {
-                        LoadEvent::Idle
-                    }
-                })
-                .collect();
-            traced.step(&events);
-        }
-        assert_eq!(traced.loads(), untraced.loads(), "tracing must be passive");
-        assert_eq!(traced.metrics(), untraced.metrics());
-
-        let events = buffer.take();
-        let balances = events
-            .iter()
-            .filter(|e| matches!(e, dlb_trace::TraceEvent::BalanceInitiated { .. }))
-            .count() as u64;
-        assert_eq!(balances, traced.metrics().balance_ops);
-        // Summing the per-step deltas reproduces the final Metrics.
-        let mut replayed = Metrics::new();
-        for ev in &events {
-            if let dlb_trace::TraceEvent::StepDelta { counters, .. } = ev {
-                for (name, inc) in counters {
-                    let cur = replayed.get_field(name).expect("known counter");
-                    replayed.set_field(name, cur + inc);
-                }
-            }
-        }
-        assert_eq!(&replayed, traced.metrics());
-    }
-
-    #[test]
-    fn null_sink_emits_nothing_and_changes_nothing() {
-        let params = Params::paper_section7(8);
-        let plain = run_random(params, 13, 200, 0.5, 0.3).loads();
-        let mut nulled = Cluster::new(params, 13);
-        nulled.set_trace_sink(dlb_trace::SharedSink::new(dlb_trace::NullSink));
-        let mut rng = ChaCha8Rng::seed_from_u64(13 ^ 0xfeed);
-        for _ in 0..200 {
-            let events: Vec<LoadEvent> = (0..8)
-                .map(|_| {
-                    let x: f64 = rng.gen();
-                    if x < 0.5 {
-                        LoadEvent::Generate
-                    } else if x < 0.8 {
-                        LoadEvent::Consume
-                    } else {
-                        LoadEvent::Idle
-                    }
-                })
-                .collect();
-            nulled.step(&events);
-        }
-        assert_eq!(nulled.loads(), plain);
-    }
-
-    #[test]
-    fn state_bytes_scales_with_activity_not_n_squared() {
-        // A lightly-loaded n=1024 cluster must cost orders of magnitude
-        // less than the 2 * 8 * n² bytes the dense arenas would pay.
-        let params = Params::new(1024, 2, 1.3, 4).unwrap();
-        let mut cluster = Cluster::new(params, 5);
-        let mut events = vec![LoadEvent::Idle; 1024];
-        events[0] = LoadEvent::Generate;
-        events[1] = LoadEvent::Generate;
-        for _ in 0..200 {
-            cluster.step(&events);
-        }
-        let dense_bytes = 2 * 8 * 1024 * 1024;
-        let sparse_bytes = cluster.state_bytes();
-        assert!(
-            sparse_bytes * 10 < dense_bytes,
-            "sparse {sparse_bytes} bytes vs dense {dense_bytes}"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "one event per processor")]
-    fn step_requires_full_event_vector() {
-        let params = Params::paper_section7(4);
-        let mut cluster = Cluster::new(params, 0);
-        cluster.step(&[LoadEvent::Idle]);
+        let a = run_random(params, 42, 300, 0.5, 0.3).loads();
+        let b = run_random(params, 42, 300, 0.5, 0.3).loads();
+        assert_eq!(a, b);
     }
 }

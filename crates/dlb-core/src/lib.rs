@@ -15,6 +15,12 @@
 //!   branch-and-bound / Prolog / graphics applications cited by the paper
 //!   actually ran.
 //!
+//! [`cluster::Cluster`] stores the `d`/`b` matrices sparsely
+//! ([`sparse::SparseRow`] per processor), which is what lets it scale to
+//! n ≥ 2¹⁸; the retired flat-arena engine survives as
+//! [`dense::DenseCluster`] and the naive oracle as
+//! [`reference`] — all three are bit-identical, enforced by proptests.
+//!
 //! [`one_proc`] contains the one-processor-generator(-consumer) models of
 //! §3 (the paper's Figure 1), used to validate Theorems 1–3 and the cost
 //! bounds of §6 empirically.
@@ -46,6 +52,7 @@
 pub mod balance;
 pub mod batch;
 pub mod cluster;
+pub mod dense;
 pub mod metrics;
 pub mod one_proc;
 pub mod params;
@@ -54,16 +61,19 @@ pub mod recorder;
 pub mod reference;
 pub mod simple;
 pub mod snapshot;
+pub mod sparse;
 pub mod strategy;
 pub mod weighted;
 
 pub use batch::{step_batch, BatchEvent};
 pub use cluster::Cluster;
+pub use dense::DenseCluster;
 pub use metrics::Metrics;
 pub use params::{ExchangePolicy, Params};
 pub use recorder::LoadRecorder;
-pub use simple::SimpleCluster;
+pub use simple::{SimpleCluster, SIMPLE_WAVE_THRESHOLD};
 pub use snapshot::ClusterSnapshot;
+pub use sparse::SparseRow;
 pub use strategy::{
     imbalance_stats, ImbalanceStats, LoadBalancer, LoadEvent, DEFAULT_WAVE_THRESHOLD,
 };

@@ -25,6 +25,18 @@ use dlb_trace::{SharedSink, TraceEvent};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
+/// Default wave threshold for [`SimpleCluster`], much higher than the
+/// full model's [`crate::strategy::DEFAULT_WAVE_THRESHOLD`]: a raw-load
+/// balance op only moves δ + 1 integers (tens of nanoseconds), so pool
+/// dispatch — microseconds per wave — cannot pay for itself until a
+/// flush carries thousands of ops.  Below this the engine neither
+/// defers nor wave-plans, which is what fixed the `step_jobs=4`
+/// regression recorded in BENCH_core.json (n=4096: 123 ms → parity
+/// with sequential).  Override with
+/// [`LoadBalancer::set_wave_threshold`]; 0 forces the wave executor
+/// for every flush (used by the equivalence tests).
+pub const SIMPLE_WAVE_THRESHOLD: usize = 4096;
+
 thread_local! {
     /// Per-thread share scratch for wave execution.
     static WAVE_SHARES: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
@@ -110,8 +122,20 @@ pub struct SimpleCluster {
     /// Intra-step parallelism (1 = execute at the trigger, as before).
     step_jobs: usize,
     /// Flushes with fewer queued operations than this run sequentially
-    /// (see [`LoadBalancer::set_wave_threshold`]).
+    /// (see [`LoadBalancer::set_wave_threshold`]; default
+    /// [`SIMPLE_WAVE_THRESHOLD`]).
     wave_threshold: usize,
+    /// Whether operations drawn this step are queued for wave execution.
+    /// Decided once per step from the previous step's op count: a step
+    /// expected to stay under the wave threshold would pay the deferral
+    /// bookkeeping only to run sequentially at the flush anyway, so it
+    /// executes eagerly at the trigger instead.  Either path is
+    /// bit-identical (execution consumes no RNG and folds in trigger
+    /// order), so the heuristic can only affect speed, never results.
+    defer_waves: bool,
+    /// Balance operations drawn during the previous step (the
+    /// `defer_waves` predictor).
+    prev_step_ops: u64,
     /// Flat member lists of queued operations, in trigger order
     /// (variable length under a crash mask — see `pending_lens`).
     pending_members: Vec<usize>,
@@ -153,7 +177,9 @@ impl SimpleCluster {
             sink: None,
             step_no: 0,
             step_jobs: 1,
-            wave_threshold: crate::strategy::DEFAULT_WAVE_THRESHOLD,
+            wave_threshold: SIMPLE_WAVE_THRESHOLD,
+            defer_waves: false,
+            prev_step_ops: 0,
             pending_members: Vec::new(),
             pending_lens: Vec::new(),
             pending_member: vec![false; n],
@@ -257,7 +283,7 @@ impl SimpleCluster {
             members.extend(raw.iter().map(|&x| if x >= initiator { x + 1 } else { x }));
         }
         self.scratch_sample = raw;
-        if self.step_jobs > 1 {
+        if self.defer_waves {
             // Defer: everything below the draw touches only the members'
             // loads, so member-disjoint operations commute bit-exactly
             // (see `flush_pending`).
@@ -326,6 +352,36 @@ impl SimpleCluster {
         }
         let tracing = self.trace_on();
         let step_jobs = self.step_jobs;
+        if count < self.wave_threshold {
+            // Tiny flush: wave planning and pool dispatch cost more than
+            // they save, and sequential execution in trigger order is
+            // exactly the per-processor order the waves reproduce — so
+            // skip the machinery entirely and fold each outcome as it
+            // executes (execution consumes no RNG and emits nothing, so
+            // interleaving execute/fold keeps the trigger-order counter
+            // sums and event stream bit-identical).
+            let mut shares = std::mem::take(&mut self.scratch_shares);
+            let mut pos = 0usize;
+            for &len in &lens {
+                let members = &pending[pos..pos + len as usize];
+                pos += len as usize;
+                let out = {
+                    let view = LoadsView {
+                        loads: self.loads.as_mut_ptr(),
+                        l_old: self.l_old.as_mut_ptr(),
+                    };
+                    unsafe { execute_balance(&view, members, tracing, &mut shares) }
+                };
+                self.fold_outcome(members, out, tracing);
+            }
+            self.scratch_shares = shares;
+            let (mut pending, mut lens) = (pending, lens);
+            pending.clear();
+            lens.clear();
+            self.pending_members = pending;
+            self.pending_lens = lens;
+            return;
+        }
         let mut offsets = std::mem::take(&mut self.scratch_offsets);
         offsets.clear();
         let mut acc = 0usize;
@@ -337,22 +393,7 @@ impl SimpleCluster {
         outcomes.clear();
         let mut wave_of = std::mem::take(&mut self.scratch_wave_of);
         let mut wave_ops = std::mem::take(&mut self.scratch_wave_ops);
-        if count < self.wave_threshold {
-            // Tiny flush: wave planning and pool dispatch cost more than
-            // they save, and sequential execution in trigger order is
-            // exactly the per-processor order the waves reproduce — so
-            // skip the machinery (bit-identical results either way).
-            let mut shares = std::mem::take(&mut self.scratch_shares);
-            let view = LoadsView {
-                loads: self.loads.as_mut_ptr(),
-                l_old: self.l_old.as_mut_ptr(),
-            };
-            for k in 0..count {
-                let members = &pending[offsets[k]..offsets[k] + lens[k] as usize];
-                outcomes.push(unsafe { execute_balance(&view, members, tracing, &mut shares) });
-            }
-            self.scratch_shares = shares;
-        } else {
+        {
             wave_of.clear();
             let mut waves = 0u32;
             for k in 0..count {
@@ -414,6 +455,14 @@ impl SimpleCluster {
 
     fn step_impl(&mut self, events: &[LoadEvent], down: &[bool]) {
         assert_eq!(events.len(), self.params.n(), "one event per processor");
+        // Queue-or-eager decision, once per step: defer only when the
+        // previous step's op count suggests the flush would actually
+        // engage the wave executor (threshold 0 = always defer, used by
+        // tests to force the wave path).  Bit-identical either way —
+        // see `defer_waves`.
+        let ops_before = self.metrics.balance_ops;
+        self.defer_waves = self.step_jobs > 1
+            && (self.wave_threshold == 0 || self.prev_step_ops >= self.wave_threshold as u64);
         // The mask is fixed for the whole step: refresh the alive cache
         // once here (only when the mask actually changed), not per
         // balancing operation.
@@ -466,6 +515,7 @@ impl SimpleCluster {
         // Operations never outlive their step: the StepDelta below (and
         // any observer between steps) must see fully-settled state.
         self.flush_pending();
+        self.prev_step_ops = self.metrics.balance_ops - ops_before;
         if tracing {
             let delta = self.metrics.delta_from(&before);
             let counters: Vec<(String, u64)> = delta
@@ -684,9 +734,10 @@ mod tests {
     #[test]
     fn step_jobs_matches_sequential_including_masked() {
         let params = Params::paper_section7(16);
-        // threshold 0 forces the wave executor for every flush; the
-        // default (n=16 < 32 queued ops) exercises the sequential
-        // fallback — both must match plain sequential stepping.
+        // threshold 0 forces defer + wave executor for every flush;
+        // threshold 8 mixes eager steps, deferred wave flushes and
+        // deferred sequential flushes; the default never defers at this
+        // size — all must match plain sequential stepping bit-exactly.
         let run = |jobs: usize, threshold: usize| {
             let mut c = SimpleCluster::with_initial_load(params, 21, 40);
             c.set_step_jobs(jobs);
@@ -711,9 +762,9 @@ mod tests {
             c.check_invariants().unwrap();
             (c.loads(), *c.metrics())
         };
-        let seq = run(1, crate::DEFAULT_WAVE_THRESHOLD);
+        let seq = run(1, SIMPLE_WAVE_THRESHOLD);
         for jobs in [2, 4, 8] {
-            for threshold in [0, crate::DEFAULT_WAVE_THRESHOLD] {
+            for threshold in [0, 8, SIMPLE_WAVE_THRESHOLD] {
                 assert_eq!(
                     run(jobs, threshold),
                     seq,

@@ -51,8 +51,8 @@ pub fn proportional_shares_into(
     // tiebreak makes the comparator a total order, so the unstable sort
     // (no allocation, unlike the stable one) is deterministic.
     remainders.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    for k in 0..(total - assigned) as usize {
-        shares[remainders[k].1] += 1;
+    for &(_, i) in &remainders[..(total - assigned) as usize] {
+        shares[i] += 1;
     }
 }
 

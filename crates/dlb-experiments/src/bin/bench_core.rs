@@ -17,13 +17,24 @@
 //! the full model tractable at that size, and the binary asserts it
 //! completes in under 60 s.
 //!
+//! Since PR 9 the full engine stores its class state sparsely, so the
+//! matrix gains a `large` section (full engine only, fewer steps) that
+//! climbs to n = 2¹⁸ and records `state_bytes`/`bytes_per_proc` — the
+//! witness that memory scales with active classes, not n².  Two dense
+//! u64 matrices would cost 16·n bytes per processor (4 MiB at n = 2¹⁸);
+//! the binary asserts the sparse engine stays under 4 KiB.
+//!
 //! Usage: `cargo run --release -p dlb-experiments --bin bench_core
-//!         [--smoke] [--out BENCH_core.json] [--check BENCH_core.json]`
+//!         [--smoke] [--large-smoke] [--out BENCH_core.json]
+//!         [--check BENCH_core.json]`
 //!
 //! `--smoke` shrinks the matrix (and skips the 60 s assertion) so CI can
-//! run the binary in seconds as a compile-and-run gate.  `--check
-//! <baseline>` re-runs the baseline's matrix and exits non-zero if any
-//! checksum differs from the committed file (timings are
+//! run the binary in seconds as a compile-and-run gate; `--large-smoke`
+//! runs a single time-bounded large-n cell (n = 65536) and exits without
+//! writing JSON — the CI gate that the sparse engine actually reaches
+//! 10⁵-processor scale.  `--check <baseline>` re-runs the baseline's
+//! matrix (including its `large` rows, if present) and exits non-zero if
+//! any checksum differs from the committed file (timings are
 //! machine-dependent; checksums are not).
 
 use dlb_core::{Cluster, LoadBalancer, Params, SimpleCluster};
@@ -160,6 +171,53 @@ fn matrix(smoke: bool) -> (&'static [usize], usize, usize) {
     }
 }
 
+/// The sparse-engine scaling ladder: full model only, single rep,
+/// fewer steps (wall-clock per step grows with n; 120 steps at n = 2¹⁸
+/// is the acceptance bar for 10⁵⁺-processor scale).
+const LARGE_SIZES: [usize; 3] = [16_384, 65_536, 262_144];
+const LARGE_STEPS: usize = 120;
+
+/// One row of the `large` section.
+struct LargeCell {
+    n: usize,
+    steps: usize,
+    full_ms: f64,
+    full_fp: String,
+    state_bytes: usize,
+}
+
+/// Times the full engine once at `n` on the paper workload and captures
+/// the final sparse-state footprint.  Invariant-checks the final state
+/// and asserts the memory bound that makes this scale reachable at all.
+fn run_large_cell(n: usize, steps: usize) -> LargeCell {
+    let trace = paper_trace(n, steps, 9);
+    let params = Params::paper_section7(n);
+    let mut cluster = Cluster::new(params, 1);
+    let mut replay = trace.replay();
+    let mut events = Vec::new();
+    let t0 = Instant::now();
+    for t in 0..steps {
+        replay.events_at(t, &mut events);
+        cluster.step(&events);
+    }
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    cluster.check_invariants().expect("large-n invariants");
+    let state_bytes = cluster.state_bytes();
+    let per_proc = state_bytes / n;
+    assert!(
+        per_proc < 4096,
+        "sparse state must stay far below the dense 16·n B/proc: \
+         n={n} uses {per_proc} B/proc"
+    );
+    LargeCell {
+        n,
+        steps,
+        full_ms,
+        full_fp: fingerprint(&cluster),
+        state_bytes,
+    }
+}
+
 /// `--check` mode: re-runs the baseline's matrix (checksums are
 /// machine-independent) and compares every cell against the committed
 /// file.  Exits 1 on any drift.
@@ -211,6 +269,29 @@ fn check_against(baseline_path: &str) -> ! {
             }
         }
     }
+    // The sparse-engine `large` rows, when the baseline has them: same
+    // machine-independence argument, one run per row.
+    if let Some(large) = doc.get("large").and_then(Json::as_arr) {
+        println!();
+        for row in large {
+            let n = row.get("n").and_then(Json::as_f64).expect("large n") as usize;
+            let steps = row
+                .get("steps")
+                .and_then(Json::as_f64)
+                .expect("large steps") as usize;
+            let want = field(row, "full_checksum");
+            let cell = run_large_cell(n, steps);
+            if want == cell.full_fp {
+                println!("  n={n:<6} large  full    ok    {}", cell.full_fp);
+            } else {
+                println!(
+                    "  n={n:<6} large  full    DRIFT baseline {want} != {}",
+                    cell.full_fp
+                );
+                drifted += 1;
+            }
+        }
+    }
     if drifted > 0 {
         println!(
             "\n{drifted} checksum(s) drifted from {baseline_path}: the simulation \
@@ -222,6 +303,27 @@ fn check_against(baseline_path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// `--large-smoke` mode: one time-bounded large-n cell proving the
+/// sparse engine holds at 10⁵-processor scale, for CI.  Writes nothing.
+fn large_smoke() -> ! {
+    let (n, steps) = (65_536usize, 40usize);
+    println!("bench_core --large-smoke: full engine, n={n}, {steps} steps\n");
+    let cell = run_large_cell(n, steps);
+    println!(
+        "  n={:<6} full {:>10.2} ms  ({})  {} B/proc",
+        cell.n,
+        cell.full_ms,
+        cell.full_fp,
+        cell.state_bytes / cell.n
+    );
+    assert!(
+        cell.full_ms < 60_000.0,
+        "large smoke must finish {steps} steps at n={n} in < 60 s, took {:.0} ms",
+        cell.full_ms
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.flag("smoke");
@@ -229,6 +331,9 @@ fn main() {
     let check: String = args.get("check", String::new());
     if !check.is_empty() {
         check_against(&check);
+    }
+    if args.flag("large-smoke") {
+        large_smoke();
     }
     let (sizes, steps, reps) = matrix(smoke);
 
@@ -280,7 +385,38 @@ fn main() {
         }
     }
 
-    let doc = Json::Obj(vec![
+    // The sparse-engine scaling ladder (full mode only): full model at
+    // n up to 2¹⁸, recording wall-clock and resident class-state bytes.
+    // Sub-quadratic growth in both columns is the tentpole claim; the
+    // dense engine stored 2·8·n² bytes and could not climb past 4096.
+    let mut large_rows = Vec::new();
+    if !smoke {
+        println!();
+        for n in LARGE_SIZES {
+            let cell = run_large_cell(n, LARGE_STEPS);
+            println!(
+                "  n={:<6} large full {:>10.2} ms  ({})  {} B/proc",
+                cell.n,
+                cell.full_ms,
+                cell.full_fp,
+                cell.state_bytes / cell.n
+            );
+            let ms3 = |x: f64| Json::Float((x * 1000.0).round() / 1000.0);
+            large_rows.push(Json::Obj(vec![
+                ("n".into(), (cell.n as u64).to_json()),
+                ("steps".into(), (cell.steps as u64).to_json()),
+                ("full_ms".into(), ms3(cell.full_ms)),
+                ("full_checksum".into(), cell.full_fp.to_json()),
+                ("state_bytes".into(), (cell.state_bytes as u64).to_json()),
+                (
+                    "bytes_per_proc".into(),
+                    ((cell.state_bytes / cell.n) as u64).to_json(),
+                ),
+            ]));
+        }
+    }
+
+    let mut fields = vec![
         ("bench".into(), "core".to_json()),
         (
             "matrix".into(),
@@ -293,8 +429,16 @@ fn main() {
             "wave_threshold".into(),
             (dlb_core::DEFAULT_WAVE_THRESHOLD as u64).to_json(),
         ),
+        (
+            "simple_wave_threshold".into(),
+            (dlb_core::SIMPLE_WAVE_THRESHOLD as u64).to_json(),
+        ),
         ("sizes".into(), Json::Arr(cells)),
-    ]);
+    ];
+    if !large_rows.is_empty() {
+        fields.push(("large".into(), Json::Arr(large_rows)));
+    }
+    let doc = Json::Obj(fields);
     std::fs::write(&out, doc.render_pretty()).expect("JSON written");
     println!("\nwrote {out}");
 }
