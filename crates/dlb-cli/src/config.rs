@@ -4,6 +4,7 @@
 
 use dlb_faults::FaultPlan;
 use dlb_json::{FromJson, Json, ToJson};
+use dlb_workload::sparse::SparsePattern;
 
 /// A complete runnable scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +222,24 @@ pub enum WorkloadConfig {
         /// Steps between role swaps.
         swap_every: usize,
     },
+    /// An event-driven structurally sparse pattern (see
+    /// [`dlb_workload::sparse`]): only the active processors are
+    /// visited each step, so these are the patterns that scale to
+    /// `n = 2²⁰`.  JSON kinds: `sparse-phase`, `sparse-hotspot`,
+    /// `sparse-bursty`, `sparse-arrivals`.
+    Sparse {
+        /// Which sparse pattern runs.
+        pattern: SparsePattern,
+    },
+}
+
+impl WorkloadConfig {
+    /// Whether this workload supports the event-driven sparse stepping
+    /// path (`dlb run` takes it automatically unless `--dense` forces
+    /// the O(n)-per-step path).
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, WorkloadConfig::Sparse { .. })
+    }
 }
 
 fn default_g() -> (f64, f64) {
@@ -510,6 +529,39 @@ impl ToJson for WorkloadConfig {
                 fields.push(("swap_every".into(), swap_every.to_json()));
                 "split"
             }
+            WorkloadConfig::Sparse { pattern } => match pattern {
+                SparsePattern::Phase { work, gap } => {
+                    fields.push(("work".into(), work.to_json()));
+                    fields.push(("gap".into(), pair_json(gap)));
+                    "sparse-phase"
+                }
+                SparsePattern::Hotspot {
+                    period,
+                    consumer_gap,
+                } => {
+                    fields.push(("period".into(), period.to_json()));
+                    fields.push(("consumer_gap".into(), consumer_gap.to_json()));
+                    "sparse-hotspot"
+                }
+                SparsePattern::Bursty {
+                    burst,
+                    quiet,
+                    quiet_gap,
+                } => {
+                    fields.push(("burst".into(), burst.to_json()));
+                    fields.push(("quiet".into(), quiet.to_json()));
+                    fields.push(("quiet_gap".into(), quiet_gap.to_json()));
+                    "sparse-bursty"
+                }
+                SparsePattern::Arrivals {
+                    arrival_gap,
+                    service_gap,
+                } => {
+                    fields.push(("arrival_gap".into(), arrival_gap.to_json()));
+                    fields.push(("service_gap".into(), service_gap.to_json()));
+                    "sparse-arrivals"
+                }
+            },
         };
         let mut obj = vec![("kind".to_string(), Json::Str(kind.to_string()))];
         obj.extend(fields);
@@ -526,6 +578,10 @@ impl FromJson for WorkloadConfig {
             "uniform" => &["kind", "p_gen", "p_con"],
             "moving-hotspot" => &["kind", "period", "p_con"],
             "split" => &["kind", "swap_every"],
+            "sparse-phase" => &["kind", "work", "gap"],
+            "sparse-hotspot" => &["kind", "period", "consumer_gap"],
+            "sparse-bursty" => &["kind", "burst", "quiet", "quiet_gap"],
+            "sparse-arrivals" => &["kind", "arrival_gap", "service_gap"],
             _ => &["kind"],
         };
         dlb_json::reject_unknown(value, allowed)?;
@@ -548,6 +604,31 @@ impl FromJson for WorkloadConfig {
             }),
             "split" => Ok(WorkloadConfig::Split {
                 swap_every: dlb_json::req(value, "swap_every")?,
+            }),
+            "sparse-phase" => Ok(WorkloadConfig::Sparse {
+                pattern: SparsePattern::Phase {
+                    work: dlb_json::field_or(value, "work", 1)?,
+                    gap: pair(value, "gap", (50, 150))?,
+                },
+            }),
+            "sparse-hotspot" => Ok(WorkloadConfig::Sparse {
+                pattern: SparsePattern::Hotspot {
+                    period: dlb_json::req(value, "period")?,
+                    consumer_gap: dlb_json::req(value, "consumer_gap")?,
+                },
+            }),
+            "sparse-bursty" => Ok(WorkloadConfig::Sparse {
+                pattern: SparsePattern::Bursty {
+                    burst: dlb_json::req(value, "burst")?,
+                    quiet: dlb_json::req(value, "quiet")?,
+                    quiet_gap: dlb_json::req(value, "quiet_gap")?,
+                },
+            }),
+            "sparse-arrivals" => Ok(WorkloadConfig::Sparse {
+                pattern: SparsePattern::Arrivals {
+                    arrival_gap: dlb_json::req(value, "arrival_gap")?,
+                    service_gap: dlb_json::req(value, "service_gap")?,
+                },
             }),
             other => Err(format!("unknown workload kind {other:?}")),
         }
@@ -664,6 +745,9 @@ impl Scenario {
                         .into());
                 }
             }
+        }
+        if let WorkloadConfig::Sparse { pattern } = &self.workload {
+            pattern.validate().map_err(|e| format!("workload: {e}"))?;
         }
         if let Some(faults) = &self.faults {
             faults

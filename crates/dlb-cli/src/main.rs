@@ -20,6 +20,9 @@
 //!                    wave executor engages (smaller flushes run
 //!                    sequentially); output is identical for every N
 //!   --profile        add per-step StepProfile events to the trace
+//!   --dense          force the dense O(n)-per-step path for
+//!                    sparse-capable workloads (output is byte-identical
+//!                    either way; the event-driven path is the default)
 //! ```
 
 mod config;
@@ -31,7 +34,7 @@ use run::RunOptions;
 
 const USAGE: &str = "usage: dlb <demo | run <scenario.json> | template | \
                      serve <scenario.json>> [--trace <path>] [--jobs N] \
-                     [--step-jobs N] [--wave-threshold N] [--profile]";
+                     [--step-jobs N] [--wave-threshold N] [--profile] [--dense]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -96,6 +99,7 @@ fn parse_options(rest: &[String]) -> Result<RunOptions, String> {
                 );
             }
             "--profile" => opts.profile = true,
+            "--dense" => opts.dense = true,
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
     }

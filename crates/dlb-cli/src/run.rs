@@ -25,6 +25,7 @@ use dlb_net::{AsyncConfig, AsyncNetwork, AsyncStats, PartnerMode, TopoCluster, T
 use dlb_trace::{BufferSink, FileSink, TraceEvent, TraceSink};
 use dlb_workload::patterns::{MovingHotspot, OneProducer, ProducerConsumerSplit, UniformRandom};
 use dlb_workload::phase::{PhaseConfig, PhaseWorkload};
+use dlb_workload::sparse::{SparseActivity, SparseWorkload};
 use dlb_workload::Workload;
 
 /// Execution options (CLI flags, not scenario content).
@@ -48,6 +49,11 @@ pub struct RunOptions {
     /// Emit per-step `StepProfile` events (wall times are
     /// machine-dependent, so profiled traces are not byte-reproducible).
     pub profile: bool,
+    /// Force the dense O(n)-per-step path even for sparse-capable
+    /// workloads (the event-driven path is taken automatically
+    /// otherwise; both produce byte-identical output, so this flag
+    /// exists for comparison and CI identity gates).
+    pub dense: bool,
 }
 
 /// Aggregated outcome of all runs of a scenario.
@@ -277,7 +283,68 @@ fn build_workload(scenario: &Scenario, seed: u64) -> Result<Box<dyn Workload>, S
             }
             Box::new(ProducerConsumerSplit::new(n, *swap_every))
         }
+        WorkloadConfig::Sparse { pattern } => {
+            pattern.validate()?;
+            Box::new(SparseActivity::new(n, *pattern, seed))
+        }
     })
+}
+
+/// The event-driven counterpart of [`build_workload`]: `Some` for
+/// sparse-capable workloads (same seed ⇒ the identical event stream,
+/// enumerated instead of densified), `None` otherwise.
+fn build_sparse_workload(
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<Option<Box<dyn SparseWorkload>>, String> {
+    Ok(match &scenario.workload {
+        WorkloadConfig::Sparse { pattern } => {
+            pattern.validate()?;
+            Some(Box::new(SparseActivity::new(scenario.n, *pattern, seed)))
+        }
+        _ => None,
+    })
+}
+
+/// Per-step crash masks recomputed only when a crash or rejoin actually
+/// fires: [`FaultInjector::mask_at`] is O(n + crashes), which would
+/// swamp the O(active) sparse step if called every step.
+struct MaskCache {
+    /// Sorted, deduplicated times at which the mask changes.
+    boundaries: Vec<u64>,
+    next: usize,
+    mask: Vec<bool>,
+}
+
+impl MaskCache {
+    fn new(injector: &FaultInjector) -> Self {
+        let mut boundaries: Vec<u64> = injector
+            .crashes()
+            .iter()
+            .flat_map(|c| [Some(c.at), c.recover_at])
+            .flatten()
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        MaskCache {
+            boundaries,
+            next: 0,
+            mask: Vec::new(),
+        }
+    }
+
+    /// The mask at time `t`; must be queried with non-decreasing `t`.
+    fn at(&mut self, injector: &FaultInjector, t: u64) -> &[bool] {
+        let mut crossed = false;
+        while self.next < self.boundaries.len() && self.boundaries[self.next] <= t {
+            self.next += 1;
+            crossed = true;
+        }
+        if crossed || self.mask.is_empty() {
+            self.mask = injector.mask_at(t);
+        }
+        &self.mask
+    }
 }
 
 /// The fault plan for run `r`: the plan's own seed is re-derived per
@@ -326,7 +393,23 @@ fn emit_load_sample(driver: &dlb_trace::SharedSink, step: u64, loads: &[u64]) {
     });
 }
 
+/// Same bytes as [`emit_load_sample`], from the O(1) incremental
+/// summary instead of an O(n) scan.
+fn emit_summary_sample(driver: &dlb_trace::SharedSink, step: u64, summary: dlb_core::LoadSummary) {
+    driver.record(&TraceEvent::LoadSample {
+        step,
+        min: summary.min,
+        max: summary.max,
+        total: summary.total,
+    });
+}
+
 /// One run of a synchronous (LoadBalancer) strategy.
+///
+/// Sparse-capable workloads step through
+/// [`LoadBalancer::step_sparse`] unless `force_dense` is set; both
+/// paths observe the engine through the incremental
+/// [`LoadBalancer::load_summary`] and produce byte-identical output.
 fn run_one_sync(
     scenario: &Scenario,
     r: usize,
@@ -334,6 +417,7 @@ fn run_one_sync(
     profile: bool,
     step_jobs: usize,
     wave_threshold: Option<usize>,
+    force_dense: bool,
 ) -> Result<RunOutcome, String> {
     let seed = stream_seed(scenario.seed, r as u64, StreamId::Balancer);
     let mut balancer = build_strategy(scenario, seed)?;
@@ -341,10 +425,18 @@ fn run_one_sync(
     if let Some(threshold) = wave_threshold {
         balancer.set_wave_threshold(threshold);
     }
-    let mut workload = build_workload(
-        scenario,
-        stream_seed(scenario.seed, r as u64, StreamId::Workload),
-    )?;
+    let wseed = stream_seed(scenario.seed, r as u64, StreamId::Workload);
+    let mut sparse_workload = if force_dense || !scenario.workload.is_sparse() {
+        None
+    } else {
+        build_sparse_workload(scenario, wseed)?
+    };
+    let mut workload = match sparse_workload {
+        // The sparse instance *is* the workload; a dense one is only
+        // built when the sparse path is off.
+        Some(_) => None,
+        None => Some(build_workload(scenario, wseed)?),
+    };
     let warmup = (scenario.steps as f64 * scenario.warmup_fraction) as usize;
     let mut recorder = LoadRecorder::new(warmup, 3.0);
     let buf = BufferSink::new();
@@ -368,19 +460,45 @@ fn run_one_sync(
         Some(plan) => Some(FaultInjector::new(plan, scenario.n)?),
         None => None,
     };
+    let mut masks = injector.as_ref().map(MaskCache::new);
     let mut events = Vec::new();
+    let mut active = Vec::new();
     for t in 0..scenario.steps {
-        workload.events_at(t, &mut events);
         let started = std::time::Instant::now();
         let ops_before = balancer.metrics().balance_ops;
-        match &injector {
-            Some(inj) => balancer.step_masked(&events, &inj.mask_at(t as u64)),
-            None => balancer.step(&events),
+        match (&mut sparse_workload, &mut workload) {
+            (Some(w), _) => {
+                w.active_at(t, &mut active);
+                match &injector {
+                    Some(inj) => {
+                        let mask = masks
+                            .as_mut()
+                            .expect("built with injector")
+                            .at(inj, t as u64);
+                        balancer.step_sparse_masked(&active, mask);
+                    }
+                    None => balancer.step_sparse(&active),
+                }
+            }
+            (None, Some(w)) => {
+                w.events_at(t, &mut events);
+                match &injector {
+                    Some(inj) => {
+                        let mask = masks
+                            .as_mut()
+                            .expect("built with injector")
+                            .at(inj, t as u64);
+                        balancer.step_masked(&events, mask);
+                    }
+                    None => balancer.step(&events),
+                }
+            }
+            (None, None) => unreachable!("one workload form is always built"),
         }
-        let loads = balancer.loads();
-        recorder.record(&loads);
+        let summary = balancer.load_summary();
+        recorder.record_summary(summary, scenario.n);
         if tracing {
-            emit_load_sample(&driver, t as u64, &loads);
+            emit_summary_sample(&driver, t as u64, summary);
             if profile {
                 driver.record(&TraceEvent::StepProfile {
                     step: t as u64,
@@ -511,6 +629,7 @@ pub fn execute_with(scenario: &Scenario, opts: &RunOptions) -> Result<Report, St
                 opts.profile,
                 opts.step_jobs,
                 opts.wave_threshold,
+                opts.dense,
             ),
         });
 
@@ -893,6 +1012,7 @@ mod tests {
                 step_jobs,
                 wave_threshold: Some(0),
                 profile: false,
+                dense: false,
             };
             let report = execute_with(&scenario, &opts).unwrap();
             (std::fs::read(&path).unwrap(), report)
@@ -926,6 +1046,7 @@ mod tests {
             step_jobs: 2,
             wave_threshold: None,
             profile: true,
+            dense: false,
         };
         let traced = execute_with(&scenario, &opts).unwrap();
         assert_eq!(plain.mean_ratio, traced.mean_ratio, "tracing is inert");
@@ -1048,6 +1169,101 @@ mod tests {
         assert_eq!(full_row[2], format!("{:.3}", plain.mean_ratio));
         assert_eq!(full_row[4], format!("{:.3}", plain.worst_ratio));
         assert_eq!(full_row[5], format!("{:.3}", plain.ops_per_run));
+    }
+
+    fn sparse_workloads() -> Vec<WorkloadConfig> {
+        use dlb_workload::sparse::SparsePattern;
+        vec![
+            WorkloadConfig::Sparse {
+                pattern: SparsePattern::Phase {
+                    work: 2,
+                    gap: (3, 9),
+                },
+            },
+            WorkloadConfig::Sparse {
+                pattern: SparsePattern::Hotspot {
+                    period: 5,
+                    consumer_gap: 4,
+                },
+            },
+            WorkloadConfig::Sparse {
+                pattern: SparsePattern::Bursty {
+                    burst: 3,
+                    quiet: 12,
+                    quiet_gap: 8,
+                },
+            },
+            WorkloadConfig::Sparse {
+                pattern: SparsePattern::Arrivals {
+                    arrival_gap: 6,
+                    service_gap: 3,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_sparse_workload_kind_executes() {
+        for workload in sparse_workloads() {
+            let scenario = small_scenario(
+                StrategyConfig::Simple { delta: 1, f: 1.2 },
+                workload.clone(),
+            );
+            execute(&scenario).unwrap_or_else(|e| panic!("{workload:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sparse_trace_is_byte_identical_to_dense() {
+        // The event-driven path must not change a single byte of the
+        // trace or report relative to --dense, for sequential and
+        // wave-parallel steps, with a crash/rejoin in play.
+        let dir = std::env::temp_dir().join("dlb_cli_sparse_identity_test");
+        for (w, workload) in sparse_workloads().into_iter().enumerate() {
+            let mut scenario = small_scenario(
+                StrategyConfig::Full {
+                    delta: 1,
+                    f: 1.1,
+                    c: 4,
+                },
+                workload,
+            );
+            scenario.n = 16;
+            scenario.steps = 200;
+            scenario.runs = 2;
+            scenario.faults = Some(FaultPlan {
+                crashes: vec![CrashEvent {
+                    proc: 3,
+                    at: 40,
+                    recover_at: Some(90),
+                }],
+                ..FaultPlan::default()
+            });
+            let run_with = |dense: bool, step_jobs: usize, name: &str| {
+                let path = dir.join(name);
+                let opts = RunOptions {
+                    trace: Some(path.to_string_lossy().into_owned()),
+                    step_jobs,
+                    wave_threshold: Some(0),
+                    dense,
+                    ..RunOptions::default()
+                };
+                let report = execute_with(&scenario, &opts).unwrap();
+                (std::fs::read(&path).unwrap(), report)
+            };
+            for step_jobs in [1, 4] {
+                let (dense, dense_report) =
+                    run_with(true, step_jobs, &format!("w{w}s{step_jobs}_dense.jsonl"));
+                let (sparse, sparse_report) =
+                    run_with(false, step_jobs, &format!("w{w}s{step_jobs}_sparse.jsonl"));
+                assert!(!dense.is_empty());
+                assert_eq!(dense, sparse, "workload {w}, step-jobs {step_jobs}");
+                assert_eq!(dense_report.mean_ratio, sparse_report.mean_ratio);
+                assert_eq!(dense_report.ops_per_run, sparse_report.ops_per_run);
+                assert_eq!(dense_report.final_total, sparse_report.final_total);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

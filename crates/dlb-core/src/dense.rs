@@ -23,7 +23,7 @@ use crate::balance::{
 };
 use crate::metrics::Metrics;
 use crate::params::{ExchangePolicy, Params};
-use crate::strategy::{LoadBalancer, LoadEvent};
+use crate::strategy::{check_sparse_events, LoadBalancer, LoadEvent, LoadSummary};
 use dlb_pool::par_map;
 use dlb_trace::{SharedSink, TraceEvent};
 use rand::prelude::*;
@@ -1122,31 +1122,21 @@ impl DenseCluster {
         pending.clear();
         self.pending_members = pending;
     }
-}
 
-impl LoadBalancer for DenseCluster {
-    fn n(&self) -> usize {
-        self.n
-    }
-
-    fn loads(&self) -> Vec<u64> {
-        self.load.clone()
-    }
-
-    fn loads_into(&self, out: &mut Vec<u64>) {
-        out.clear();
-        out.extend_from_slice(&self.load);
-    }
-
-    fn step(&mut self, events: &[LoadEvent]) {
-        assert_eq!(events.len(), self.n, "one event per processor");
+    /// Shared body of [`LoadBalancer::step`] and
+    /// [`LoadBalancer::step_sparse`]: processes `(processor, event)`
+    /// pairs in ascending order, then settles the step.  An idle
+    /// processor reads nothing, writes nothing and consumes no
+    /// randomness in the dense loop, so the sparse path — which simply
+    /// never yields idle pairs — is bit-identical by construction.
+    fn step_events<I: Iterator<Item = (usize, LoadEvent)>>(&mut self, events: I) {
         let tracing = self.trace_on();
         let before = if tracing {
             self.metrics
         } else {
             Metrics::new()
         };
-        for (i, &ev) in events.iter().enumerate() {
+        for (i, ev) in events {
             // A queued balance involving i must land before i acts:
             // generation, consumption and the trigger check all read
             // row-i state the queued operation rewrites.  (Idle reads
@@ -1179,6 +1169,47 @@ impl LoadBalancer for DenseCluster {
             }
         }
         self.step_no += 1;
+    }
+}
+
+impl LoadBalancer for DenseCluster {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn loads(&self) -> Vec<u64> {
+        self.load.clone()
+    }
+
+    fn loads_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.load);
+    }
+
+    fn step(&mut self, events: &[LoadEvent]) {
+        assert_eq!(events.len(), self.n, "one event per processor");
+        self.step_events(events.iter().copied().enumerate());
+    }
+
+    fn step_sparse(&mut self, active: &[(usize, LoadEvent)]) {
+        check_sparse_events(active, self.n);
+        self.step_events(active.iter().copied());
+    }
+
+    fn step_sparse_masked(&mut self, active: &[(usize, LoadEvent)], down: &[bool]) {
+        assert_eq!(down.len(), self.n, "mask length mismatch");
+        check_sparse_events(active, self.n);
+        // The dense masked path (the trait default) turns a down
+        // processor's event into Idle, and idle costs nothing — so
+        // filtering down actives out of the sparse list is the same
+        // computation.
+        self.step_events(active.iter().copied().filter(|&(i, _)| !down[i]));
+    }
+
+    fn load_summary(&mut self) -> LoadSummary {
+        // The dense engine caps out near n = 4096 (O(n²) arenas), where
+        // a plain scan is already cheap — no lazy heaps needed.
+        LoadSummary::from_loads(&self.load)
     }
 
     fn metrics(&self) -> &Metrics {
@@ -1287,5 +1318,38 @@ mod tests {
         let a = run_random(params, 42, 300, 0.5, 0.3).loads();
         let b = run_random(params, 42, 300, 0.5, 0.3).loads();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_sparse_is_bit_identical_to_dense_step() {
+        let params = Params::paper_section7(16);
+        let mut dense = DenseCluster::new(params, 5);
+        let mut sparse = DenseCluster::new(params, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for t in 0..300usize {
+            let events: Vec<LoadEvent> = (0..16)
+                .map(|_| {
+                    let x: f64 = rng.gen();
+                    if x < 0.3 {
+                        LoadEvent::Generate
+                    } else if x < 0.6 {
+                        LoadEvent::Consume
+                    } else {
+                        LoadEvent::Idle
+                    }
+                })
+                .collect();
+            let active: Vec<(usize, LoadEvent)> = events
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, e)| e != LoadEvent::Idle)
+                .collect();
+            dense.step(&events);
+            sparse.step_sparse(&active);
+            assert_eq!(dense.loads(), sparse.loads(), "step {t}");
+        }
+        assert_eq!(dense.metrics(), sparse.metrics());
+        sparse.check_invariants().unwrap();
     }
 }

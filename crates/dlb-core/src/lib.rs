@@ -63,6 +63,7 @@ pub mod simple;
 pub mod snapshot;
 pub mod sparse;
 pub mod strategy;
+mod summary;
 pub mod weighted;
 
 pub use batch::{step_batch, BatchEvent};
@@ -75,6 +76,7 @@ pub use simple::{SimpleCluster, SIMPLE_WAVE_THRESHOLD};
 pub use snapshot::ClusterSnapshot;
 pub use sparse::SparseRow;
 pub use strategy::{
-    imbalance_stats, ImbalanceStats, LoadBalancer, LoadEvent, DEFAULT_WAVE_THRESHOLD,
+    check_sparse_events, imbalance_stats, ImbalanceStats, LoadBalancer, LoadEvent, LoadSummary,
+    DEFAULT_WAVE_THRESHOLD,
 };
 pub use weighted::WeightedCluster;

@@ -5,7 +5,7 @@
 //! (warm-up skipping, mean-floor filtering to avoid meaningless ratios on
 //! a near-empty system) and exposes quantiles.
 
-use crate::strategy::{imbalance_stats, ImbalanceStats};
+use crate::strategy::{imbalance_stats, ImbalanceStats, LoadSummary};
 
 /// Collects per-step [`ImbalanceStats`] and summarises them.
 #[derive(Debug, Clone)]
@@ -40,6 +40,38 @@ impl LoadRecorder {
         let stats = imbalance_stats(loads);
         if stats.mean >= self.mean_floor {
             self.samples.push(stats);
+        }
+    }
+
+    /// Records one snapshot from an exact min/max/total summary over
+    /// `n` processors — the O(1) counterpart of
+    /// [`LoadRecorder::record`] for engines with an incremental
+    /// [`crate::strategy::LoadBalancer::load_summary`].  Every ratio
+    /// statistic and the mean-floor filter depend only on max and mean,
+    /// both carried exactly (integer sums below 2⁵³ are exact in f64,
+    /// so the mean matches [`imbalance_stats`] bit for bit); only the
+    /// per-step standard deviation is not derivable without the full
+    /// vector and is stored as 0.0.
+    pub fn record_summary(&mut self, summary: LoadSummary, n: usize) {
+        let step = self.steps_seen;
+        self.steps_seen += 1;
+        if step < self.warmup {
+            return;
+        }
+        let mean = summary.mean(n);
+        if mean >= self.mean_floor {
+            let max_over_mean = if mean > 0.0 {
+                summary.max as f64 / mean
+            } else {
+                1.0
+            };
+            self.samples.push(ImbalanceStats {
+                min: summary.min,
+                max: summary.max,
+                mean,
+                std_dev: 0.0,
+                max_over_mean,
+            });
         }
     }
 
@@ -145,5 +177,20 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn quantile_domain_checked() {
         LoadRecorder::new(0, 0.0).ratio_quantile(1.5);
+    }
+
+    #[test]
+    fn record_summary_matches_record_on_every_ratio_statistic() {
+        let snapshots: [&[u64]; 5] = [&[100, 0], &[1, 1], &[10, 0], &[7, 3], &[0, 0]];
+        let mut dense = LoadRecorder::new(1, 3.0);
+        let mut summarised = LoadRecorder::new(1, 3.0);
+        for loads in snapshots {
+            dense.record(loads);
+            summarised.record_summary(LoadSummary::from_loads(loads), loads.len());
+        }
+        assert_eq!(dense.len(), summarised.len());
+        assert_eq!(dense.mean_ratio(), summarised.mean_ratio());
+        assert_eq!(dense.ratio_quantile(0.95), summarised.ratio_quantile(0.95));
+        assert_eq!(dense.worst_ratio(), summarised.worst_ratio());
     }
 }

@@ -19,7 +19,8 @@
 use crate::balance::even_shares_into;
 use crate::metrics::Metrics;
 use crate::params::Params;
-use crate::strategy::{LoadBalancer, LoadEvent};
+use crate::strategy::{check_sparse_events, LoadBalancer, LoadEvent, LoadSummary};
+use crate::summary::SummaryTracker;
 use dlb_pool::par_map;
 use dlb_trace::{SharedSink, TraceEvent};
 use rand::prelude::*;
@@ -150,6 +151,10 @@ pub struct SimpleCluster {
     scratch_wave_ops: Vec<usize>,
     scratch_offsets: Vec<usize>,
     scratch_outcomes: Vec<OpOutcome>,
+    /// Lazy min/max heaps backing [`LoadBalancer::load_summary`];
+    /// observer state, built on the first query (`None` until then, so
+    /// unobserved runs pay one branch per load change).
+    summary: Option<SummaryTracker>,
 }
 
 impl SimpleCluster {
@@ -188,6 +193,18 @@ impl SimpleCluster {
             scratch_wave_ops: Vec::new(),
             scratch_offsets: Vec::new(),
             scratch_outcomes: Vec::new(),
+            summary: None,
+        }
+    }
+
+    /// Feeds processor `i`'s (already updated) load to the summary
+    /// tracker.  Must follow every `self.loads` mutation on a
+    /// sequential path; the balance executor's writes are covered
+    /// per-member in [`SimpleCluster::fold_outcome`] instead.
+    #[inline]
+    fn note_load(&mut self, i: usize) {
+        if let Some(tracker) = self.summary.as_mut() {
+            tracker.note(i, &self.loads);
         }
     }
 
@@ -315,6 +332,14 @@ impl SimpleCluster {
     /// order — reconstructing the exact sequential counter sums and
     /// event stream (BalanceInitiated, then PacketsMigrated if any).
     fn fold_outcome(&mut self, members: &[usize], out: OpOutcome, tracing: bool) {
+        // The executor wrote the members' loads through raw pointers
+        // (possibly on pool workers); the summary tracker catches up
+        // here, on the sequential fold.
+        if self.summary.is_some() {
+            for &mm in members {
+                self.note_load(mm);
+            }
+        }
         self.metrics.balance_ops += 1;
         self.metrics.messages += members.len() as u64;
         if tracing {
@@ -455,6 +480,20 @@ impl SimpleCluster {
 
     fn step_impl(&mut self, events: &[LoadEvent], down: &[bool]) {
         assert_eq!(events.len(), self.params.n(), "one event per processor");
+        self.step_impl_events(events.iter().copied().enumerate(), down);
+    }
+
+    /// Shared body of dense and sparse stepping: processes `(processor,
+    /// event)` pairs in ascending order under an optional crash mask,
+    /// then settles the step.  An idle (or down) processor reads
+    /// nothing, writes nothing and consumes no randomness in the dense
+    /// loop, so a sparse caller that yields only active pairs is
+    /// bit-identical by construction.
+    fn step_impl_events<I: Iterator<Item = (usize, LoadEvent)>>(
+        &mut self,
+        events: I,
+        down: &[bool],
+    ) {
         // Queue-or-eager decision, once per step: defer only when the
         // previous step's op count suggests the flush would actually
         // engage the wave executor (threshold 0 = always defer, used by
@@ -483,7 +522,7 @@ impl SimpleCluster {
         } else {
             Metrics::new()
         };
-        for (i, &ev) in events.iter().enumerate() {
+        for (i, ev) in events {
             if !down.is_empty() && down[i] {
                 continue; // crashed: no event, no trigger, load frozen
             }
@@ -497,12 +536,14 @@ impl SimpleCluster {
             match ev {
                 LoadEvent::Generate => {
                     self.loads[i] += 1;
+                    self.note_load(i);
                     self.metrics.generated += 1;
                     self.trigger_check(i);
                 }
                 LoadEvent::Consume => {
                     if self.loads[i] > 0 {
                         self.loads[i] -= 1;
+                        self.note_load(i);
                         self.metrics.consumed += 1;
                         self.trigger_check(i);
                     } else {
@@ -558,6 +599,35 @@ impl LoadBalancer for SimpleCluster {
     fn step_masked(&mut self, events: &[LoadEvent], down: &[bool]) {
         assert_eq!(events.len(), down.len(), "event/mask length mismatch");
         self.step_impl(events, down);
+    }
+
+    fn step_sparse(&mut self, active: &[(usize, LoadEvent)]) {
+        check_sparse_events(active, self.params.n());
+        self.step_impl_events(active.iter().copied(), &[]);
+    }
+
+    fn step_sparse_masked(&mut self, active: &[(usize, LoadEvent)], down: &[bool]) {
+        assert_eq!(down.len(), self.params.n(), "mask length mismatch");
+        check_sparse_events(active, self.params.n());
+        self.step_impl_events(active.iter().copied(), down);
+    }
+
+    fn load_summary(&mut self) -> LoadSummary {
+        if self.summary.is_none() {
+            self.summary = Some(SummaryTracker::new(&self.loads));
+        }
+        let (min, max) = self
+            .summary
+            .as_mut()
+            .expect("just installed")
+            .min_max(&self.loads);
+        // Packet conservation (checked by `check_invariants`): total
+        // load is initial + generated − consumed.
+        LoadSummary {
+            min,
+            max,
+            total: self.initial_total + self.metrics.generated - self.metrics.consumed,
+        }
     }
 
     fn metrics(&self) -> &Metrics {
@@ -772,6 +842,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn step_sparse_is_bit_identical_including_masked() {
+        let params = Params::paper_section7(16);
+        for jobs in [1, 4] {
+            let mut dense = SimpleCluster::with_initial_load(params, 8, 20);
+            dense.set_step_jobs(jobs);
+            let mut sparse = SimpleCluster::with_initial_load(params, 8, 20);
+            sparse.set_step_jobs(jobs);
+            let mut rng = ChaCha8Rng::seed_from_u64(41);
+            let mut down = vec![false; 16];
+            for round in 0..300usize {
+                if round % 60 == 0 {
+                    down[round / 60 % 16] ^= true;
+                }
+                let events: Vec<LoadEvent> = (0..16)
+                    .map(|_| {
+                        let x: f64 = rng.gen();
+                        if x < 0.35 {
+                            LoadEvent::Generate
+                        } else if x < 0.7 {
+                            LoadEvent::Consume
+                        } else {
+                            LoadEvent::Idle
+                        }
+                    })
+                    .collect();
+                let active: Vec<(usize, LoadEvent)> = events
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, e)| e != LoadEvent::Idle)
+                    .collect();
+                dense.step_masked(&events, &down);
+                sparse.step_sparse_masked(&active, &down);
+                assert_eq!(dense.loads(), sparse.loads(), "round {round} jobs={jobs}");
+            }
+            assert_eq!(dense.metrics(), sparse.metrics(), "jobs={jobs}");
+            sparse.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn load_summary_is_exact_and_passive() {
+        let params = Params::paper_section7(8);
+        let run = |observe: bool| {
+            let mut c = SimpleCluster::with_initial_load(params, 12, 10);
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            for _ in 0..400 {
+                let events: Vec<LoadEvent> = (0..8)
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            LoadEvent::Generate
+                        } else {
+                            LoadEvent::Consume
+                        }
+                    })
+                    .collect();
+                c.step(&events);
+                if observe {
+                    let s = c.load_summary();
+                    let loads = c.loads();
+                    assert_eq!(s.min, *loads.iter().min().unwrap());
+                    assert_eq!(s.max, *loads.iter().max().unwrap());
+                    assert_eq!(s.total, loads.iter().sum::<u64>());
+                }
+            }
+            (c.loads(), *c.metrics())
+        };
+        assert_eq!(run(true), run(false), "observation must be passive");
     }
 
     #[test]

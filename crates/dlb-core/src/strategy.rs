@@ -64,6 +64,39 @@ pub trait LoadBalancer {
     /// action.  `events.len()` must equal [`LoadBalancer::n`].
     fn step(&mut self, events: &[LoadEvent]);
 
+    /// Advances one global time step given only the *active* processors:
+    /// `active` lists the `(processor, event)` pairs whose event is not
+    /// [`LoadEvent::Idle`], sorted by ascending processor index with no
+    /// duplicates.  Semantically identical to [`LoadBalancer::step`] on
+    /// the densified vector (idle everywhere else) — the engines override
+    /// it to walk only the active pairs, making an idle processor cost
+    /// nothing.  The default densifies, which is correct for every
+    /// balancer but O(n).
+    fn step_sparse(&mut self, active: &[(usize, LoadEvent)]) {
+        check_sparse_events(active, self.n());
+        let mut events = vec![LoadEvent::Idle; self.n()];
+        for &(i, ev) in active {
+            events[i] = ev;
+        }
+        self.step(&events);
+    }
+
+    /// Sparse counterpart of [`LoadBalancer::step_masked`]: advances one
+    /// step with only the active `(processor, event)` pairs under a crash
+    /// mask.  `down` is full-length (`n`); `active` is sorted-unique as in
+    /// [`LoadBalancer::step_sparse`].  The default densifies and
+    /// delegates, so sparse and dense masked stepping agree byte for byte
+    /// on any balancer.
+    fn step_sparse_masked(&mut self, active: &[(usize, LoadEvent)], down: &[bool]) {
+        assert_eq!(down.len(), self.n(), "mask length mismatch");
+        check_sparse_events(active, self.n());
+        let mut events = vec![LoadEvent::Idle; self.n()];
+        for &(i, ev) in active {
+            events[i] = ev;
+        }
+        self.step_masked(&events, down);
+    }
+
     /// Advances one step under a crash mask: `down[i]` marks processor `i`
     /// as crashed for this step.  A crashed processor performs no event
     /// (its generate/consume is suppressed) and — for engines that
@@ -79,6 +112,17 @@ pub trait LoadBalancer {
             .map(|(&e, &d)| if d { LoadEvent::Idle } else { e })
             .collect();
         self.step(&masked);
+    }
+
+    /// Cheap summary of the current load distribution: exact min, max and
+    /// total.  Per-step observers that only need these (the CLI recorder,
+    /// `LoadSample` trace rows) call this instead of cloning the full
+    /// O(n) load vector.  Takes `&mut self` so engines can maintain the
+    /// answer incrementally (lazy heaps built on first call); the default
+    /// scans [`LoadBalancer::loads`], which is correct for every balancer
+    /// but O(n).
+    fn load_summary(&mut self) -> LoadSummary {
+        LoadSummary::from_loads(&self.loads())
     }
 
     /// Activity counters accumulated so far.
@@ -112,6 +156,62 @@ pub trait LoadBalancer {
 /// Default [`LoadBalancer::set_wave_threshold`] value: below this many
 /// queued operations per flush, pool dispatch costs more than it saves.
 pub const DEFAULT_WAVE_THRESHOLD: usize = 32;
+
+/// Validates the [`LoadBalancer::step_sparse`] contract: indices
+/// strictly ascending (hence unique) and in range.  O(active), called
+/// by every engine implementation so a malformed list fails loudly
+/// instead of silently diverging from the dense semantics.
+pub fn check_sparse_events(active: &[(usize, LoadEvent)], n: usize) {
+    let mut prev = None;
+    for &(i, _) in active {
+        assert!(i < n, "sparse event index {i} out of range (n = {n})");
+        if let Some(p) = prev {
+            assert!(p < i, "sparse events must be sorted by ascending processor");
+        }
+        prev = Some(i);
+    }
+}
+
+/// Exact min/max/total of a load distribution, maintained incrementally
+/// by the engines (see [`LoadBalancer::load_summary`]).  Mean is
+/// `total / n`, so these three values carry everything the per-step
+/// observers derive without touching the O(n) load vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Smallest per-processor load.
+    pub min: u64,
+    /// Largest per-processor load.
+    pub max: u64,
+    /// Sum of all loads.
+    pub total: u64,
+}
+
+impl LoadSummary {
+    /// Computes the summary by scanning a load snapshot.
+    pub fn from_loads(loads: &[u64]) -> Self {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut total = 0u64;
+        for &l in loads {
+            min = min.min(l);
+            max = max.max(l);
+            total += l;
+        }
+        if loads.is_empty() {
+            min = 0;
+        }
+        LoadSummary { min, max, total }
+    }
+
+    /// Mean load over `n` processors (0.0 for `n == 0`).
+    pub fn mean(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.total as f64 / n as f64
+        }
+    }
+}
 
 /// Summary statistics of a load distribution snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,138 @@
+//! Lazily-maintained exact min/max over a load vector.
+//!
+//! Per-step observers (the CLI recorder, `LoadSample` trace rows) need
+//! only min/max/total, but [`crate::strategy::LoadBalancer::loads`]
+//! hands them an O(n) clone per step — at n ≥ 2¹⁸ the observer
+//! dominates the simulation.  The tracker keeps two *lazy* heaps of
+//! `(load, proc)` candidates: every load change pushes the new value,
+//! stale entries are discarded at query time.  The invariant is that
+//! each processor's **current** value is always present in both heaps
+//! (pushed on its last change, never popped — queries only pop entries
+//! that disagree with the live load vector), so the first agreeing top
+//! is the exact extremum.  A query costs O(stale popped · log) —
+//! amortised O(changes since the last query) — and a change costs two
+//! O(log) pushes, i.e. everything scales with *activity*, not n.
+//!
+//! Heaps are compacted (rebuilt from the live vector) when stale
+//! entries outnumber processors 3:1, bounding memory at O(n).
+//!
+//! Engines construct the tracker lazily on the first
+//! `load_summary()` call, so untracked runs pay a single `Option`
+//! check per load change.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Lazy min/max candidate heaps over a load vector (see module docs).
+pub(crate) struct SummaryTracker {
+    max_heap: BinaryHeap<(u64, u32)>,
+    min_heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl SummaryTracker {
+    /// A tracker seeded with every processor's current load.
+    pub fn new(loads: &[u64]) -> Self {
+        let mut tracker = SummaryTracker {
+            max_heap: BinaryHeap::with_capacity(2 * loads.len()),
+            min_heap: BinaryHeap::with_capacity(2 * loads.len()),
+        };
+        tracker.rebuild(loads);
+        tracker
+    }
+
+    /// Drops every stale entry by rebuilding from the live vector.
+    fn rebuild(&mut self, loads: &[u64]) {
+        self.max_heap.clear();
+        self.min_heap.clear();
+        self.max_heap
+            .extend(loads.iter().enumerate().map(|(i, &l)| (l, i as u32)));
+        self.min_heap.extend(
+            loads
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| Reverse((l, i as u32))),
+        );
+    }
+
+    /// Records processor `i`'s new load (`loads[i]` already updated).
+    #[inline]
+    pub fn note(&mut self, i: usize, loads: &[u64]) {
+        let l = loads[i];
+        self.max_heap.push((l, i as u32));
+        self.min_heap.push(Reverse((l, i as u32)));
+        if self.max_heap.len() > 4 * loads.len() {
+            self.rebuild(loads);
+        }
+    }
+
+    /// Exact `(min, max)` of the live vector.  Pops entries that
+    /// disagree with `loads`; an agreeing top is never popped, so each
+    /// processor's latest entry survives for the next query.
+    pub fn min_max(&mut self, loads: &[u64]) -> (u64, u64) {
+        let max = loop {
+            let &(l, i) = self.max_heap.peek().expect("tracker covers every proc");
+            if loads[i as usize] == l {
+                break l;
+            }
+            self.max_heap.pop();
+        };
+        let min = loop {
+            let &Reverse((l, i)) = self.min_heap.peek().expect("tracker covers every proc");
+            if loads[i as usize] == l {
+                break l;
+            }
+            self.min_heap.pop();
+        };
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn tracks_extrema_through_random_mutations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut loads: Vec<u64> = (0..50).map(|_| rng.gen_range(0..100)).collect();
+        let mut tracker = SummaryTracker::new(&loads);
+        for round in 0..2000 {
+            let i = rng.gen_range(0..loads.len());
+            loads[i] = rng.gen_range(0..100);
+            tracker.note(i, &loads);
+            if round % 7 == 0 {
+                let (min, max) = tracker.min_max(&loads);
+                assert_eq!(min, *loads.iter().min().unwrap(), "round {round}");
+                assert_eq!(max, *loads.iter().max().unwrap(), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_between_mutations_are_stable() {
+        let mut loads = vec![5, 1, 9, 3];
+        let mut tracker = SummaryTracker::new(&loads);
+        assert_eq!(tracker.min_max(&loads), (1, 9));
+        assert_eq!(tracker.min_max(&loads), (1, 9));
+        loads[2] = 0;
+        tracker.note(2, &loads);
+        assert_eq!(tracker.min_max(&loads), (0, 5));
+        assert_eq!(tracker.min_max(&loads), (0, 5));
+    }
+
+    #[test]
+    fn compaction_bounds_memory() {
+        let mut loads = vec![0u64; 8];
+        let mut tracker = SummaryTracker::new(&loads);
+        for k in 0..10_000u64 {
+            loads[(k % 8) as usize] = k;
+            tracker.note((k % 8) as usize, &loads);
+        }
+        assert!(tracker.max_heap.len() <= 4 * loads.len());
+        let (min, max) = tracker.min_max(&loads);
+        assert_eq!(min, *loads.iter().min().unwrap());
+        assert_eq!(max, *loads.iter().max().unwrap());
+    }
+}

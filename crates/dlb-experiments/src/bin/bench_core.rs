@@ -24,24 +24,38 @@
 //! u64 matrices would cost 16·n bytes per processor (4 MiB at n = 2¹⁸);
 //! the binary asserts the sparse engine stays under 4 KiB.
 //!
+//! Since PR 10 the binary also times the *event-driven* path: a
+//! `sparse_step` section steps the full engine at n = 2²⁰ through
+//! [`LoadBalancer::step_sparse`] on a structurally sparse phase
+//! workload at 1 % and 0.1 % activity.  Each row's checksum is asserted
+//! equal to a dense `step` run over the identical event stream (the
+//! equivalence witness), and per-step cost must drop with the active
+//! fraction — the proof that stepping costs O(active), not O(n).
+//!
 //! Usage: `cargo run --release -p dlb-experiments --bin bench_core
-//!         [--smoke] [--large-smoke] [--out BENCH_core.json]
-//!         [--check BENCH_core.json]`
+//!         [--smoke] [--large-smoke] [--sparse-smoke]
+//!         [--out BENCH_core.json] [--check BENCH_core.json]`
 //!
 //! `--smoke` shrinks the matrix (and skips the 60 s assertion) so CI can
 //! run the binary in seconds as a compile-and-run gate; `--large-smoke`
 //! runs a single time-bounded large-n cell (n = 65536) and exits without
 //! writing JSON — the CI gate that the sparse engine actually reaches
-//! 10⁵-processor scale.  `--check <baseline>` re-runs the baseline's
-//! matrix (including its `large` rows, if present) and exits non-zero if
-//! any checksum differs from the committed file (timings are
-//! machine-dependent; checksums are not).
+//! 10⁵-processor scale.  `--sparse-smoke` runs one time-bounded
+//! event-driven cell (n = 2²⁰, 1 % activity) with its dense equivalence
+//! witness and exits without writing JSON.  `--check <baseline>`
+//! re-runs the baseline's matrix (including its `large` and
+//! `sparse_step` rows, if present) and exits non-zero if any checksum
+//! differs from the committed file (timings are machine-dependent;
+//! checksums are not).  When the baseline was produced on a 1-core box
+//! (`effective_cores` = 1) the step-jobs speedup comparison is skipped —
+//! only the bit-identity of the checksums is meaningful there.
 
 use dlb_core::{Cluster, LoadBalancer, Params, SimpleCluster};
 use dlb_experiments::args::Args;
 use dlb_experiments::parallel::default_jobs;
 use dlb_experiments::quality::paper_trace;
 use dlb_json::{Json, ToJson};
+use dlb_workload::sparse::{drive_sparse, SparseActivity, SparsePattern};
 use dlb_workload::trace::EventTrace;
 use dlb_workload::Workload;
 use std::time::Instant;
@@ -218,6 +232,91 @@ fn run_large_cell(n: usize, steps: usize) -> LargeCell {
     }
 }
 
+/// The event-driven stepping ladder: full engine at n = 2²⁰, a sparse
+/// phase workload (1-step work phases) whose gap range sets the active
+/// fraction.  Fewer steps than the dense matrix — the whole point is
+/// that a step no longer costs O(n).
+const SPARSE_N: usize = 1 << 20;
+const SPARSE_STEPS: usize = 200;
+/// Two-step work phases (generate, then consume — load-neutral) with
+/// the sleep gap setting the activity: 2/(2 + mean gap).
+const SPARSE_LEVELS: [(&str, (u32, u32)); 2] = [("1%", (100, 300)), ("0.1%", (1000, 3000))];
+
+/// One row of the `sparse_step` section.
+struct SparseCell {
+    n: usize,
+    steps: usize,
+    gap: (u32, u32),
+    active_per_step: f64,
+    sparse_ms: f64,
+    dense_ms: f64,
+    fp: String,
+}
+
+/// Times the full engine through `step_sparse` at `n` with the given
+/// activity gap, then re-runs the identical event stream through the
+/// dense `step` path and asserts the final states are bit-identical —
+/// every sparse timing in the JSON carries its own equivalence witness.
+fn run_sparse_cell(n: usize, gap: (u32, u32), steps: usize) -> SparseCell {
+    let pattern = SparsePattern::Phase { work: 2, gap };
+    let params = Params::paper_section7(n);
+
+    let mut workload = SparseActivity::new(n, pattern, 9);
+    let mut cluster = Cluster::new(params, 1);
+    let mut total_active = 0u64;
+    let t0 = Instant::now();
+    drive_sparse(&mut cluster, &mut workload, steps, |_, active, _| {
+        total_active += active.len() as u64;
+    });
+    let sparse_ms = t0.elapsed().as_secs_f64() * 1e3;
+    cluster.check_invariants().expect("sparse-step invariants");
+    let fp = fingerprint(&cluster);
+
+    let mut workload = SparseActivity::new(n, pattern, 9);
+    let mut dense = Cluster::new(params, 1);
+    let mut events = Vec::new();
+    let t0 = Instant::now();
+    for t in 0..steps {
+        workload.events_at(t, &mut events);
+        dense.step(&events);
+    }
+    let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        fingerprint(&dense),
+        fp,
+        "sparse and dense paths diverged at n={n}, gap={gap:?}"
+    );
+
+    SparseCell {
+        n,
+        steps,
+        gap,
+        active_per_step: total_active as f64 / steps as f64,
+        sparse_ms,
+        dense_ms,
+        fp,
+    }
+}
+
+/// `--sparse-smoke` mode: one time-bounded event-driven cell (with its
+/// dense witness) proving the sparse path holds at n = 2²⁰, for CI.
+/// Writes nothing.
+fn sparse_smoke() -> ! {
+    let (n, (_, gap), steps) = (SPARSE_N, SPARSE_LEVELS[0], 100usize);
+    println!("bench_core --sparse-smoke: full engine, n={n}, {steps} steps, 1% activity\n");
+    let cell = run_sparse_cell(n, gap, steps);
+    println!(
+        "  n={:<8} sparse {:>9.2} ms  dense {:>9.2} ms  ({})  {:.0} active/step",
+        cell.n, cell.sparse_ms, cell.dense_ms, cell.fp, cell.active_per_step
+    );
+    assert!(
+        cell.sparse_ms < 60_000.0,
+        "sparse smoke must finish {steps} steps at n={n} in < 60 s, took {:.0} ms",
+        cell.sparse_ms
+    );
+    std::process::exit(0);
+}
+
 /// `--check` mode: re-runs the baseline's matrix (checksums are
 /// machine-independent) and compares every cell against the committed
 /// file.  Exits 1 on any drift.
@@ -254,9 +353,11 @@ fn check_against(baseline_path: &str) -> ! {
         if smoke { "smoke" } else { "paper" }
     );
     let mut drifted = 0usize;
+    let mut timings: Vec<(u64, u64, f64)> = Vec::new();
     for (n, step_jobs, want_full, want_simple) in &baseline {
         // One rep suffices: checksums do not depend on timing.
         let cell = run_cell(*n as usize, *step_jobs as usize, steps, 1, false);
+        timings.push((*n, *step_jobs, cell.full_ms));
         for (engine, want, got) in [
             ("full", want_full, &cell.full_fp),
             ("simple", want_simple, &cell.simple_fp),
@@ -266,6 +367,43 @@ fn check_against(baseline_path: &str) -> ! {
             } else {
                 println!("  n={n:<5} sj={step_jobs} {engine:<7} DRIFT baseline {want} != {got}");
                 drifted += 1;
+            }
+        }
+    }
+    // Step-jobs speedup sanity: only meaningful when both the baseline
+    // box and this one actually had cores to parallelise over — on a
+    // 1-core machine (CI) the wave executor can only add overhead, so
+    // the comparison is skipped and bit-identity above is the gate.
+    let baseline_cores = doc
+        .get("effective_cores")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0) as usize;
+    if baseline_cores <= 1 || default_jobs() <= 1 {
+        println!(
+            "\nspeedup comparison skipped (baseline effective_cores = \
+             {baseline_cores}, this machine = {})",
+            default_jobs()
+        );
+    } else {
+        for &(n, sj, par_ms) in &timings {
+            if sj == 1 {
+                continue;
+            }
+            let Some(&(_, _, seq_ms)) = timings.iter().find(|&&(m, j, _)| m == n && j == 1) else {
+                continue;
+            };
+            // A loose bound: parallel steps must not be grossly slower
+            // than sequential ones (3x covers scheduler noise).
+            if par_ms > seq_ms * 3.0 {
+                println!(
+                    "  n={n:<5} sj={sj} full    SLOW  {par_ms:.2} ms vs {seq_ms:.2} ms sequential"
+                );
+                drifted += 1;
+            } else {
+                println!(
+                    "  n={n:<5} sj={sj} full    speedup ok ({:.2}x)",
+                    seq_ms / par_ms
+                );
             }
         }
     }
@@ -287,6 +425,31 @@ fn check_against(baseline_path: &str) -> ! {
                 println!(
                     "  n={n:<6} large  full    DRIFT baseline {want} != {}",
                     cell.full_fp
+                );
+                drifted += 1;
+            }
+        }
+    }
+    // The event-driven `sparse_step` rows, when the baseline has them:
+    // each re-run also re-asserts the internal sparse/dense witness.
+    if let Some(sparse) = doc.get("sparse_step").and_then(Json::as_arr) {
+        println!();
+        for row in sparse {
+            let n = row.get("n").and_then(Json::as_f64).expect("sparse n") as usize;
+            let steps = row
+                .get("steps")
+                .and_then(Json::as_f64)
+                .expect("sparse steps") as usize;
+            let gap_lo = row.get("gap_lo").and_then(Json::as_f64).expect("gap_lo") as u32;
+            let gap_hi = row.get("gap_hi").and_then(Json::as_f64).expect("gap_hi") as u32;
+            let want = field(row, "checksum");
+            let cell = run_sparse_cell(n, (gap_lo, gap_hi), steps);
+            if want == cell.fp {
+                println!("  n={n:<8} sparse gap={gap_lo}..{gap_hi} ok    {}", cell.fp);
+            } else {
+                println!(
+                    "  n={n:<8} sparse gap={gap_lo}..{gap_hi} DRIFT baseline {want} != {}",
+                    cell.fp
                 );
                 drifted += 1;
             }
@@ -334,6 +497,9 @@ fn main() {
     }
     if args.flag("large-smoke") {
         large_smoke();
+    }
+    if args.flag("sparse-smoke") {
+        sparse_smoke();
     }
     let (sizes, steps, reps) = matrix(smoke);
 
@@ -416,6 +582,45 @@ fn main() {
         }
     }
 
+    // The event-driven stepping ladder: n = 2²⁰ at two activity levels.
+    // Per-step cost must track the active fraction — when activity
+    // drops 10x, the sparse step must get at least 2x cheaper (the
+    // dense path, by contrast, is flat in activity and ~constant here).
+    let mut sparse_rows = Vec::new();
+    if !smoke {
+        println!();
+        let mut sparse_cells = Vec::new();
+        for (label, gap) in SPARSE_LEVELS {
+            let cell = run_sparse_cell(SPARSE_N, gap, SPARSE_STEPS);
+            println!(
+                "  n={:<8} sparse {label:<5} {:>9.2} ms  dense {:>9.2} ms  ({})  {:.0} active/step",
+                cell.n, cell.sparse_ms, cell.dense_ms, cell.fp, cell.active_per_step
+            );
+            let ms3 = |x: f64| Json::Float((x * 1000.0).round() / 1000.0);
+            sparse_rows.push(Json::Obj(vec![
+                ("activity".into(), label.to_json()),
+                ("n".into(), (cell.n as u64).to_json()),
+                ("steps".into(), (cell.steps as u64).to_json()),
+                ("gap_lo".into(), u64::from(cell.gap.0).to_json()),
+                ("gap_hi".into(), u64::from(cell.gap.1).to_json()),
+                ("active_per_step".into(), ms3(cell.active_per_step)),
+                ("sparse_ms".into(), ms3(cell.sparse_ms)),
+                ("dense_ms".into(), ms3(cell.dense_ms)),
+                ("checksum".into(), cell.fp.to_json()),
+            ]));
+            sparse_cells.push(cell);
+        }
+        let busy = &sparse_cells[0];
+        let quiet = &sparse_cells[1];
+        assert!(
+            quiet.sparse_ms * 2.0 <= busy.sparse_ms,
+            "sparse per-step cost must track the active fraction: \
+             {:.2} ms at 1% vs {:.2} ms at 0.1% activity",
+            busy.sparse_ms,
+            quiet.sparse_ms
+        );
+    }
+
     let mut fields = vec![
         ("bench".into(), "core".to_json()),
         (
@@ -437,6 +642,9 @@ fn main() {
     ];
     if !large_rows.is_empty() {
         fields.push(("large".into(), Json::Arr(large_rows)));
+    }
+    if !sparse_rows.is_empty() {
+        fields.push(("sparse_step".into(), Json::Arr(sparse_rows)));
     }
     let doc = Json::Obj(fields);
     std::fs::write(&out, doc.render_pretty()).expect("JSON written");

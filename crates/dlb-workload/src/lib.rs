@@ -15,6 +15,7 @@ pub mod branching;
 pub mod patterns;
 pub mod phase;
 pub mod service;
+pub mod sparse;
 pub mod trace;
 
 use dlb_core::{LoadBalancer, LoadEvent};

@@ -1,0 +1,232 @@
+//! Property tests: the event-driven sparse path is *bit-identical* to
+//! the dense one.
+//!
+//! For every engine (`Cluster`, `SimpleCluster`, `DenseCluster`), every
+//! sparse pattern, `step_jobs ∈ {1, 4}` and randomly drawn fault plans
+//! with crashes/rejoins, a run through `step_sparse`/`step_sparse_masked`
+//! must reproduce the dense `step`/`step_masked` run exactly: final
+//! loads, metrics, serialized trace bytes — and for the full engine the
+//! complete snapshot (the d/b class matrices included).  A third leg
+//! records the workload into an [`EventTrace`] and replays it densely,
+//! so the sparse stream is also checked against an independently
+//! serialized record.
+
+use dlb_core::{Cluster, DenseCluster, LoadBalancer, Metrics, Params, SimpleCluster};
+use dlb_faults::{CrashEvent, FaultInjector, FaultPlan};
+use dlb_trace::BufferSink;
+use dlb_workload::sparse::{SparseActivity, SparsePattern, SparseWorkload};
+use dlb_workload::trace::EventTrace;
+use dlb_workload::Workload;
+use proptest::prelude::*;
+
+/// Folds three raw draws into one of the four sparse patterns, always
+/// landing on valid parameters.
+fn build_pattern(kind: u8, a: u32, b: u32, c: u32) -> SparsePattern {
+    match kind % 4 {
+        0 => {
+            let lo = 1 + b % 7;
+            SparsePattern::Phase {
+                work: 1 + a % 4,
+                gap: (lo, lo + c % 8),
+            }
+        }
+        1 => SparsePattern::Hotspot {
+            period: 1 + a % 11,
+            consumer_gap: 1 + b % 9,
+        },
+        2 => SparsePattern::Bursty {
+            burst: 1 + a % 4,
+            quiet: 1 + b % 19,
+            quiet_gap: 1 + c % 11,
+        },
+        _ => SparsePattern::Arrivals {
+            arrival_gap: 1 + a % 9,
+            service_gap: 1 + b % 5,
+        },
+    }
+}
+
+/// Clamps raw crash draws into a valid plan over `n` processors
+/// (`recover` draw 0 means "never rejoins").
+fn build_plan(raw: &[(usize, u64, u64)], n: usize) -> Option<FaultPlan> {
+    if raw.is_empty() {
+        return None;
+    }
+    let crashes: Vec<CrashEvent> = raw
+        .iter()
+        .map(|&(proc, at, recover)| CrashEvent {
+            proc: proc % n,
+            at,
+            recover_at: (recover > 0).then_some(at + recover),
+        })
+        .collect();
+    Some(FaultPlan {
+        crashes,
+        ..FaultPlan::reliable()
+    })
+}
+
+fn make_engine(kind: u8, n: usize, seed: u64, step_jobs: usize) -> Box<dyn LoadBalancer> {
+    let params = Params::paper_section7(n);
+    let mut b: Box<dyn LoadBalancer> = match kind % 3 {
+        0 => Box::new(Cluster::new(params, seed)),
+        1 => Box::new(SimpleCluster::new(params, seed)),
+        _ => Box::new(DenseCluster::new(params, seed)),
+    };
+    b.set_step_jobs(step_jobs);
+    b
+}
+
+/// Final loads, metrics and the serialized trace of one run.
+type Outcome = (Vec<u64>, Metrics, String);
+
+fn run_dense(
+    mut balancer: Box<dyn LoadBalancer>,
+    pattern: SparsePattern,
+    wseed: u64,
+    steps: usize,
+    injector: Option<&FaultInjector>,
+) -> Outcome {
+    let buf = BufferSink::new();
+    balancer.set_trace_sink(buf.handle());
+    let n = balancer.n();
+    let mut workload = SparseActivity::new(n, pattern, wseed);
+    let mut events = Vec::new();
+    for t in 0..steps {
+        workload.events_at(t, &mut events);
+        match injector {
+            Some(inj) => balancer.step_masked(&events, &inj.mask_at(t as u64)),
+            None => balancer.step(&events),
+        }
+    }
+    finish(balancer, buf)
+}
+
+fn run_sparse(
+    mut balancer: Box<dyn LoadBalancer>,
+    pattern: SparsePattern,
+    wseed: u64,
+    steps: usize,
+    injector: Option<&FaultInjector>,
+) -> Outcome {
+    let buf = BufferSink::new();
+    balancer.set_trace_sink(buf.handle());
+    let n = balancer.n();
+    let mut workload = SparseActivity::new(n, pattern, wseed);
+    let mut active = Vec::new();
+    for t in 0..steps {
+        workload.active_at(t, &mut active);
+        match injector {
+            Some(inj) => balancer.step_sparse_masked(&active, &inj.mask_at(t as u64)),
+            None => balancer.step_sparse(&active),
+        }
+    }
+    finish(balancer, buf)
+}
+
+/// Replays an independently recorded [`EventTrace`] of the same
+/// workload through the dense path — the serialization oracle.
+fn run_replayed(
+    mut balancer: Box<dyn LoadBalancer>,
+    pattern: SparsePattern,
+    wseed: u64,
+    steps: usize,
+    injector: Option<&FaultInjector>,
+) -> Outcome {
+    let buf = BufferSink::new();
+    balancer.set_trace_sink(buf.handle());
+    let n = balancer.n();
+    let mut source = SparseActivity::new(n, pattern, wseed);
+    let trace = EventTrace::record(&mut source, steps);
+    let mut replay = trace.replay();
+    let mut events = Vec::new();
+    for t in 0..steps {
+        replay.events_at(t, &mut events);
+        match injector {
+            Some(inj) => balancer.step_masked(&events, &inj.mask_at(t as u64)),
+            None => balancer.step(&events),
+        }
+    }
+    finish(balancer, buf)
+}
+
+fn finish(balancer: Box<dyn LoadBalancer>, buf: BufferSink) -> Outcome {
+    let loads = balancer.loads();
+    let metrics = *balancer.metrics();
+    let bytes: String = buf
+        .take()
+        .iter()
+        .map(|e| e.to_line())
+        .collect::<Vec<_>>()
+        .join("\n");
+    (loads, metrics, bytes)
+}
+
+proptest! {
+    /// The core bit-identity property across engines, patterns,
+    /// parallelism and crash schedules.
+    #[test]
+    fn sparse_path_is_bit_identical_to_dense(
+        kind in 0u8..4,
+        a in 0u32..1_000,
+        b in 0u32..1_000,
+        c in 0u32..1_000,
+        n in 8usize..40,
+        raw_crashes in prop::collection::vec((0usize..4096, 0u64..120, 0u64..80), 0..3),
+        engine in 0u8..3,
+        wide in any::<bool>(),
+        eseed in 0u64..1_000,
+        wseed in 0u64..1_000,
+        steps in 120usize..240,
+    ) {
+        let pattern = build_pattern(kind, a, b, c);
+        let step_jobs = if wide { 4 } else { 1 };
+        let injector = build_plan(&raw_crashes, n)
+            .map(|p| FaultInjector::new(p, n).expect("valid plan"));
+        let inj = injector.as_ref();
+        let dense = run_dense(make_engine(engine, n, eseed, step_jobs), pattern, wseed, steps, inj);
+        let sparse = run_sparse(make_engine(engine, n, eseed, step_jobs), pattern, wseed, steps, inj);
+        prop_assert_eq!(&dense.0, &sparse.0, "loads diverge");
+        prop_assert_eq!(&dense.1, &sparse.1, "metrics diverge");
+        prop_assert_eq!(&dense.2, &sparse.2, "trace bytes diverge");
+        // Serialization oracle: an EventTrace recorded from a same-seed
+        // workload, replayed densely, lands in the same state.
+        let replayed = run_replayed(make_engine(engine, n, eseed, step_jobs), pattern, wseed, steps, inj);
+        prop_assert_eq!(&dense.0, &replayed.0, "replay loads diverge");
+        prop_assert_eq!(&dense.1, &replayed.1, "replay metrics diverge");
+    }
+
+    /// For the full engine the *entire* snapshot — including the d/b
+    /// virtual-class matrices — must match, not just the load vector.
+    #[test]
+    fn full_engine_snapshots_match_exactly(
+        kind in 0u8..4,
+        a in 0u32..1_000,
+        b in 0u32..1_000,
+        c in 0u32..1_000,
+        wide in any::<bool>(),
+        eseed in 0u64..1_000,
+        wseed in 0u64..1_000,
+    ) {
+        let n = 24;
+        let steps = 200;
+        let pattern = build_pattern(kind, a, b, c);
+        let step_jobs = if wide { 4 } else { 1 };
+        let params = Params::paper_section7(n);
+        let mut x = Cluster::new(params, eseed);
+        let mut y = Cluster::new(params, eseed);
+        x.set_step_jobs(step_jobs);
+        y.set_step_jobs(step_jobs);
+        let mut dense_w = SparseActivity::new(n, pattern, wseed);
+        let mut sparse_w = SparseActivity::new(n, pattern, wseed);
+        let mut events = Vec::new();
+        let mut active = Vec::new();
+        for t in 0..steps {
+            dense_w.events_at(t, &mut events);
+            x.step(&events);
+            sparse_w.active_at(t, &mut active);
+            y.step_sparse(&active);
+        }
+        prop_assert_eq!(x.snapshot(), y.snapshot());
+    }
+}
